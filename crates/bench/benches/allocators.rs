@@ -1,0 +1,71 @@
+//! Criterion benches of the allocator designs: one bench group per
+//! paper table/figure family, measuring the wall cost of regenerating
+//! each data point (the simulations are deterministic, so this doubles
+//! as a performance regression guard for the library itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_sim::{DpuConfig, DpuSim};
+use pim_workloads::micro::{run_micro, run_straw_man_grid_point, MicroConfig};
+use pim_workloads::AllocatorKind;
+
+/// Figure 15's grid: microbenchmark latency per allocator design.
+fn bench_fig15_microbench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_microbench");
+    group.sample_size(10);
+    for kind in AllocatorKind::HEADLINE {
+        for &(threads, size) in &[(1usize, 32u32), (16, 32), (16, 4096)] {
+            let cfg = MicroConfig {
+                n_tasklets: threads,
+                allocs_per_tasklet: 32,
+                alloc_size: size,
+                ..MicroConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{threads}thr_{size}B")),
+                &cfg,
+                |b, cfg| b.iter(|| run_micro(kind, cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 7's axes: straw-man cost vs heap size.
+fn bench_fig7_heap_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_straw_man_grid");
+    group.sample_size(10);
+    for &heap in &[32u32 << 10, 2 << 20, 32 << 20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KB", heap >> 10)),
+            &heap,
+            |b, &heap| b.iter(|| run_straw_man_grid_point(heap, 32, 8)),
+        );
+    }
+    group.finish();
+}
+
+/// Raw allocator hot paths on a pre-initialized DPU: the cost of one
+/// alloc/free pair through each design (simulator-side).
+fn bench_alloc_free_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_free_pair");
+    for kind in [AllocatorKind::Sw, AllocatorKind::HwSw, AllocatorKind::StrawMan] {
+        group.bench_function(kind.label(), |b| {
+            let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
+            let mut alloc = kind.build(&mut dpu, 1, 4 << 20);
+            b.iter(|| {
+                let mut ctx = dpu.ctx(0);
+                let addr = alloc.pim_malloc(&mut ctx, 256).expect("fits");
+                alloc.pim_free(&mut ctx, addr).expect("frees");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig15_microbench,
+    bench_fig7_heap_sweep,
+    bench_alloc_free_pair
+);
+criterion_main!(benches);

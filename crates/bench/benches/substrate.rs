@@ -1,0 +1,154 @@
+//! Criterion benches of the simulator substrate primitives and the
+//! ablation comparisons (buddy-cache sweep of Figure 16, fine-LRU of
+//! §IV-B, and the descent-policy design choice from DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_malloc::{
+    BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend, PimAllocator,
+    StrawManAllocator, StrawManConfig,
+};
+use pim_sim::{BuddyCache, BuddyCacheConfig, DpuConfig, DpuSim, LookupResult, Mram};
+use pim_workloads::micro::{run_micro, run_micro_with_cache, MicroConfig};
+use pim_workloads::AllocatorKind;
+
+/// The CAM model's lookup/fill loop at several capacities.
+fn bench_buddy_cache_cam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy_cache_cam");
+    for entries in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut cache = BuddyCache::new(BuddyCacheConfig {
+                    entries,
+                    bytes_per_entry: 4,
+                });
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(4);
+                    let addr = i % 256;
+                    if let LookupResult::Miss = cache.lookup(addr) {
+                        cache.fill(addr, i);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Sparse MRAM store throughput.
+fn bench_mram_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mram_store");
+    group.bench_function("write_read_64B", |b| {
+        let mut m = Mram::new(64 << 20);
+        let data = [0xa5u8; 64];
+        let mut buf = [0u8; 64];
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = (addr + 4096) % (32 << 20);
+            m.write(addr, &data);
+            m.read(addr, &mut buf);
+        });
+    });
+    group.finish();
+}
+
+/// Figure 16: HW/SW microbenchmark across buddy-cache capacities.
+fn bench_fig16_cache_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_cache_sweep");
+    group.sample_size(10);
+    let cfg = MicroConfig {
+        n_tasklets: 16,
+        allocs_per_tasklet: 32,
+        alloc_size: 4096,
+        ..MicroConfig::default()
+    };
+    for bytes in [16u32, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| run_micro_with_cache(&cfg, BuddyCacheConfig::with_capacity_bytes(bytes)))
+        });
+    }
+    group.finish();
+}
+
+/// §IV-B ablation: coarse window vs fine software LRU.
+fn bench_ablation_metadata_buffers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_metadata_buffers");
+    group.sample_size(10);
+    let cfg = MicroConfig {
+        n_tasklets: 16,
+        allocs_per_tasklet: 32,
+        alloc_size: 4096,
+        ..MicroConfig::default()
+    };
+    group.bench_function("coarse_window", |b| {
+        b.iter(|| run_micro(AllocatorKind::Sw, &cfg))
+    });
+    group.bench_function("fine_sw_lru", |b| {
+        b.iter(|| run_micro(AllocatorKind::SwFineLru, &cfg))
+    });
+    group.finish();
+}
+
+/// Descent-policy ablation: full-marks pruning vs three-state scans.
+fn bench_ablation_descent_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_descent_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("full_marks", DescentPolicy::FullMarks),
+        ("three_state", DescentPolicy::ThreeState),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
+                let cfg = StrawManConfig {
+                    heap_size: 1 << 20,
+                    descent: policy,
+                    ..StrawManConfig::default()
+                };
+                let mut alloc = StrawManAllocator::init(&mut dpu, cfg);
+                for _ in 0..128 {
+                    let mut ctx = dpu.ctx(0);
+                    alloc.pim_malloc(&mut ctx, 64).expect("fits");
+                }
+                dpu.max_clock()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw buddy tree traversal over a WRAM-resident store (pure
+/// algorithm cost, no DMA).
+fn bench_buddy_tree_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy_tree");
+    for depth_heap in [64u32 << 10, 4 << 20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KB", depth_heap >> 10)),
+            &depth_heap,
+            |b, &heap| {
+                let geometry = BuddyGeometry::new(0, heap, 32);
+                let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
+                let mut tree = BuddyAllocator::new(geometry, MetadataBackend::wram(&geometry));
+                b.iter(|| {
+                    let mut ctx = dpu.ctx(0);
+                    let a = tree.alloc(&mut ctx, 32).expect("fits");
+                    tree.free(&mut ctx, a).expect("frees");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buddy_cache_cam,
+    bench_mram_store,
+    bench_fig16_cache_sweep,
+    bench_ablation_metadata_buffers,
+    bench_ablation_descent_policy,
+    bench_buddy_tree_traversal
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches of the evaluation workloads: graph update
+//! (Figures 3/17), LLM serving (Figures 4/18), and the design-space
+//! sweep (Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_dse::{run_strategy, DseConfig, Strategy};
+use pim_workloads::graph::{run_graph_update, GraphRepr, GraphUpdateConfig};
+use pim_workloads::llm::{fixed_trace, run_serving, KvScheme, ServingConfig};
+use pim_workloads::AllocatorKind;
+
+fn small_graph(repr: GraphRepr, allocator: AllocatorKind) -> GraphUpdateConfig {
+    GraphUpdateConfig {
+        repr,
+        allocator,
+        n_dpus: 2,
+        n_tasklets: 8,
+        n_nodes: 1024,
+        base_edges: 3200,
+        new_edges: 1600,
+        ..GraphUpdateConfig::default()
+    }
+}
+
+/// Figure 17's bars: one bench per (representation, allocator) pair.
+fn bench_fig17_graph_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_graph_update");
+    group.sample_size(10);
+    group.bench_function("static_csr", |b| {
+        let cfg = small_graph(GraphRepr::StaticCsr, AllocatorKind::Sw);
+        b.iter(|| run_graph_update(&cfg))
+    });
+    for kind in AllocatorKind::HEADLINE {
+        for repr in [GraphRepr::LinkedList, GraphRepr::VarArray] {
+            let cfg = small_graph(repr, kind);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    match repr {
+                        GraphRepr::LinkedList => "linked_list",
+                        _ => "var_array",
+                    },
+                    kind.label(),
+                ),
+                &cfg,
+                |b, cfg| b.iter(|| run_graph_update(cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 18's bars: serving simulation per scheme.
+fn bench_fig18_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_serving");
+    group.sample_size(10);
+    let cfg = ServingConfig::default();
+    let trace = fixed_trace(50, 10.0);
+    for scheme in [
+        KvScheme::Static,
+        KvScheme::Dynamic(AllocatorKind::Sw),
+        KvScheme::Dynamic(AllocatorKind::HwSw),
+    ] {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| run_serving(scheme, &cfg, &trace))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6's sweep: one strategy evaluation per design point.
+fn bench_fig6_design_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_design_space");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        group.bench_function(strategy.to_string(), |b| {
+            let cfg = DseConfig::default().with_dpus(512);
+            b.iter(|| run_strategy(strategy, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig17_graph_update,
+    bench_fig18_serving,
+    bench_fig6_design_space
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! `repro` — regenerate the PIM-malloc paper's tables and figures.
+//!
+//! ```text
+//! repro all [--quick] [--csv DIR]   run every experiment
+//! repro <id> [--quick] [--csv DIR]  run one experiment (fig15, ...)
+//! repro list                        list experiment ids
+//! ```
+//!
+//! `--csv DIR` additionally writes each experiment's rows to
+//! `DIR/<id>.csv` (plot-ready series).
+//!
+//! `--quick` trims sweep sizes for a fast smoke run; without it the
+//! experiments use paper-scale parameters where feasible.
+
+use std::collections::BTreeMap;
+use std::env;
+use std::process::ExitCode;
+
+use parking_lot::Mutex;
+use pim_bench::figures;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let targets: Vec<&str> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--csv" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .map(String::as_str)
+            .collect()
+    };
+    let target = targets.first().copied().unwrap_or("all");
+    let write_csv = |experiments: &[pim_bench::Experiment]| {
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            for e in experiments {
+                let path = std::path::Path::new(dir).join(format!("{}.csv", e.id));
+                std::fs::write(&path, e.to_csv()).expect("write csv");
+            }
+        }
+    };
+
+    match target {
+        "list" => {
+            for id in figures::ALL_IDS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            println!(
+                "# PIM-malloc reproduction — all experiments ({} mode)\n",
+                if quick { "quick" } else { "full" }
+            );
+            // Experiments are independent; run them on a scoped thread
+            // pool and print in paper order as they complete.
+            let results: Mutex<BTreeMap<usize, Vec<pim_bench::Experiment>>> =
+                Mutex::new(BTreeMap::new());
+            crossbeam::thread::scope(|scope| {
+                for (idx, id) in figures::ALL_IDS.iter().enumerate() {
+                    let results = &results;
+                    scope.spawn(move |_| {
+                        let out = figures::run(id, quick);
+                        results.lock().insert(idx, out);
+                    });
+                }
+            })
+            .expect("experiment thread panicked");
+            for (_, experiments) in results.into_inner() {
+                write_csv(&experiments);
+                for e in experiments {
+                    println!("{e}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        id if figures::ALL_IDS.contains(&id) => {
+            let experiments = figures::run(id, quick);
+            write_csv(&experiments);
+            for e in experiments {
+                println!("{e}");
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; try `repro list`");
+            ExitCode::FAILURE
+        }
+    }
+}

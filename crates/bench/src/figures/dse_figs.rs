@@ -1,0 +1,95 @@
+//! Design-space-exploration figures: 6(a) and 6(b).
+
+use pim_dse::{run_strategy, sweep, DseConfig, Strategy};
+
+use crate::report::{Experiment, Row};
+
+/// Figure 6(a): system-wide allocation latency (seconds) as the DPU
+/// count grows from 1 to 512, for the four Table I strategies.
+pub fn fig6a(quick: bool) -> Experiment {
+    let mut e = Experiment::new(
+        "fig6a",
+        "allocation latency (s) vs number of PIM cores, four strategies",
+        "only PIM-Metadata/PIM-Executed stays flat; metadata movers reach ~10s",
+    );
+    let counts: &[usize] = if quick {
+        &[1, 64, 512]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+    };
+    let rows = sweep(&DseConfig::default(), counts);
+    for &strategy in &Strategy::ALL {
+        let values: Vec<(String, f64)> = rows
+            .iter()
+            .filter(|r| r.strategy == strategy)
+            .map(|r| (format!("{} DPUs", r.n_dpus), r.total_secs))
+            .collect();
+        e.push(Row {
+            label: strategy.to_string(),
+            values,
+        });
+    }
+    e
+}
+
+/// Figure 6(b): latency breakdown (transfer vs compute) at 512 cores.
+pub fn fig6b(_quick: bool) -> Experiment {
+    let mut e = Experiment::new(
+        "fig6b",
+        "latency breakdown at 512 PIM cores",
+        "metadata-moving strategies are >75% DRAM<->PIM transfer",
+    );
+    let cfg = DseConfig::default().with_dpus(512);
+    for &strategy in &Strategy::ALL {
+        let r = run_strategy(strategy, &cfg);
+        e.push(Row::new(
+            strategy.to_string(),
+            vec![
+                ("total s", r.total_secs),
+                ("transfer frac", r.transfer_fraction()),
+                ("compute frac", 1.0 - r.transfer_fraction()),
+            ],
+        ));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_pim_local_is_flat_and_best() {
+        let e = fig6a(true);
+        let local = e.row("PIM-Metadata/PIM-Executed").unwrap();
+        let one = local.value("1 DPUs").unwrap();
+        let many = local.value("512 DPUs").unwrap();
+        assert!((many / one) < 1.01);
+        for label in [
+            "Host-Metadata/Host-Executed",
+            "Host-Metadata/PIM-Executed",
+            "PIM-Metadata/Host-Executed",
+        ] {
+            let r = e.row(label).unwrap();
+            assert!(
+                r.value("512 DPUs").unwrap() > many * 10.0,
+                "{label} must scale poorly"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6b_transfer_fractions() {
+        let e = fig6b(true);
+        for label in ["Host-Metadata/PIM-Executed", "PIM-Metadata/Host-Executed"] {
+            assert!(e.row(label).unwrap().value("transfer frac").unwrap() > 0.75);
+        }
+        assert_eq!(
+            e.row("PIM-Metadata/PIM-Executed")
+                .unwrap()
+                .value("transfer frac")
+                .unwrap(),
+            0.0
+        );
+    }
+}

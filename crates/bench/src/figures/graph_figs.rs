@@ -1,0 +1,240 @@
+//! Dynamic-graph figures: 3(c), 11, and 17.
+
+use pim_workloads::graph::{run_graph_update, GraphRepr, GraphUpdateConfig};
+use pim_workloads::AllocatorKind;
+
+use crate::report::{Experiment, Row};
+
+fn scaled(quick: bool) -> GraphUpdateConfig {
+    if quick {
+        GraphUpdateConfig {
+            n_dpus: 4,
+            n_nodes: 2048,
+            base_edges: 6400,
+            new_edges: 3200,
+            ..GraphUpdateConfig::default()
+        }
+    } else {
+        GraphUpdateConfig::default()
+    }
+}
+
+/// Figure 3(c): graph-update slowdown as the pre-update graph grows
+/// (small → large) with a fixed number of new edges, static vs dynamic.
+pub fn fig3c(quick: bool) -> Experiment {
+    let mut e = Experiment::new(
+        "fig3c",
+        "update slowdown vs pre-update graph size (fixed new edges)",
+        "static grows with graph size; dynamic stays flat",
+    );
+    let base = scaled(quick);
+    let sizes: [(&str, usize); 3] = [
+        ("small", base.base_edges / 4),
+        ("medium", base.base_edges),
+        ("large", base.base_edges * 4),
+    ];
+    let mut static_small = None;
+    for repr in [GraphRepr::StaticCsr, GraphRepr::LinkedList] {
+        let mut values = Vec::new();
+        for (name, base_edges) in sizes {
+            // Node count stays fixed; "size" is the pre-update edge
+            // count, as in the paper's small/medium/large sweep.
+            let cfg = GraphUpdateConfig {
+                repr,
+                base_edges,
+                allocator: AllocatorKind::Sw,
+                ..base
+            };
+            let r = run_graph_update(&cfg);
+            let per_edge_us = r.update_secs * 1e6 / cfg.new_edges as f64;
+            if static_small.is_none() {
+                static_small = Some(per_edge_us);
+            }
+            values.push((
+                name.to_owned(),
+                per_edge_us / static_small.expect("set on first iteration"),
+            ));
+        }
+        e.push(Row {
+            label: repr.label().to_owned(),
+            values,
+        });
+    }
+    e
+}
+
+/// Figure 11: fraction of `pim_malloc` requests serviced at the
+/// frontend (a) and the backend's share of aggregate allocation
+/// latency (b), across the evaluation workloads.
+pub fn fig11(quick: bool) -> Experiment {
+    let mut e = Experiment::new(
+        "fig11",
+        "frontend service fraction and backend latency share",
+        "~93% of requests frontend-serviced; backend still ~68% of latency",
+    );
+    let base = scaled(quick);
+    for repr in [GraphRepr::LinkedList, GraphRepr::VarArray] {
+        let r = run_graph_update(&GraphUpdateConfig {
+            repr,
+            allocator: AllocatorKind::Sw,
+            ..base
+        });
+        e.push(Row::new(
+            repr.label(),
+            vec![
+                ("frontend frac", r.frontend_fraction),
+                ("backend latency frac", r.backend_latency_fraction),
+            ],
+        ));
+    }
+    // Attention / KV-cache growth: 512 B blocks through PIM-malloc-SW.
+    {
+        use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
+        use pim_sim::{DpuConfig, DpuSim};
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
+        let mut pm = PimMalloc::init(&mut dpu, PimMallocConfig::sw(16)).expect("init");
+        let blocks = if quick { 512 } else { 4096 };
+        for i in 0..blocks {
+            let mut ctx = dpu.ctx(i % 16);
+            pm.pim_malloc(&mut ctx, 512).expect("heap sized");
+        }
+        let s = pm.alloc_stats();
+        e.push(Row::new(
+            "Attention (LLM decode)",
+            vec![
+                ("frontend frac", s.frontend_service_fraction()),
+                ("backend latency frac", s.backend_latency_fraction()),
+            ],
+        ));
+    }
+    e
+}
+
+/// Figure 17: the full dynamic-graph-update comparison — throughput,
+/// cycle breakdown, per-tasklet allocation time, and metadata DRAM
+/// traffic, for the static baseline and both dynamic representations
+/// under the three allocators.
+pub fn fig17(quick: bool) -> Experiment {
+    let mut e = Experiment::new(
+        "fig17",
+        "graph update: throughput, breakdown, alloc time, metadata traffic",
+        "HW/SW: 7.1x (linked list) and 32x (var array) over static; \
+         straw-man loses to static; HW/SW moves ~30% less DRAM than SW",
+    );
+    let base = scaled(quick);
+    let static_r = run_graph_update(&GraphUpdateConfig {
+        repr: GraphRepr::StaticCsr,
+        ..base
+    });
+    let (s_run, s_busy, s_mem, s_etc) = static_r.breakdown.fractions();
+    e.push(Row::new(
+        "Static (CSR)",
+        vec![
+            ("Meps", static_r.throughput_meps),
+            ("ms", static_r.update_secs * 1e3),
+            ("run", s_run),
+            ("busy-wait", s_busy),
+            ("idle(mem)", s_mem),
+            ("idle(etc)", s_etc),
+        ],
+    ));
+    let mut sw_meta = None;
+    for repr in [GraphRepr::LinkedList, GraphRepr::VarArray] {
+        for kind in AllocatorKind::HEADLINE {
+            let r = run_graph_update(&GraphUpdateConfig {
+                repr,
+                allocator: kind,
+                ..base
+            });
+            let (run, busy, mem, etc) = r.breakdown.fractions();
+            let malloc_p50 = {
+                let mut v = r.per_tasklet_malloc_us.clone();
+                v.sort_by(f64::total_cmp);
+                v.get(v.len() / 2).copied().unwrap_or(0.0)
+            };
+            if kind == AllocatorKind::Sw {
+                sw_meta = Some(r.dram_bytes.max(1));
+            }
+            let dram_vs_sw = match (kind, sw_meta) {
+                (AllocatorKind::HwSw, Some(sw)) => r.dram_bytes as f64 / sw as f64,
+                _ => 1.0,
+            };
+            e.push(Row::new(
+                format!("{} + {}", repr.label(), kind.label()),
+                vec![
+                    ("Meps", r.throughput_meps),
+                    ("ms", r.update_secs * 1e3),
+                    ("run", run),
+                    ("busy-wait", busy),
+                    ("idle(mem)", mem),
+                    ("idle(etc)", etc),
+                    ("vs static", r.throughput_meps / static_r.throughput_meps),
+                    ("tasklet malloc p50 us", malloc_p50),
+                    ("DRAM vs SW", dram_vs_sw),
+                ],
+            ));
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3c_static_degrades_dynamic_flat() {
+        let e = fig3c(true);
+        let s = e.row("Static (CSR)").unwrap();
+        assert!(s.value("large").unwrap() > s.value("small").unwrap() * 1.5);
+        let d = e.row("Dynamic (Array of linked list)").unwrap();
+        assert!(
+            d.value("large").unwrap() < d.value("small").unwrap() * 2.0,
+            "dynamic must be nearly flat"
+        );
+        // Dynamic beats static at every size.
+        for col in ["small", "medium", "large"] {
+            assert!(d.value(col).unwrap() < s.value(col).unwrap());
+        }
+    }
+
+    #[test]
+    fn fig11_frontend_dominates_service_backend_dominates_latency() {
+        let e = fig11(true);
+        for row in &e.rows {
+            let f = row.value("frontend frac").unwrap();
+            assert!(f > 0.75, "{}: frontend fraction {f}", row.label);
+        }
+        let llm = e.row("Attention (LLM decode)").unwrap();
+        assert!(llm.value("backend latency frac").unwrap() > 0.3);
+    }
+
+    #[test]
+    fn fig17_orderings() {
+        let e = fig17(true);
+        let straw = e
+            .row("Dynamic (Array of linked list) + Straw-man")
+            .unwrap()
+            .value("vs static")
+            .unwrap();
+        assert!(straw < 1.0, "straw-man dynamic must lose to static: {straw}");
+        let hw = e
+            .row("Dynamic (Array of linked list) + PIM-malloc-HW/SW")
+            .unwrap()
+            .value("vs static")
+            .unwrap();
+        assert!(hw > 2.0, "HW/SW must be well above static: {hw}");
+        let va = e
+            .row("Dynamic (Variable sized array) + PIM-malloc-HW/SW")
+            .unwrap()
+            .value("vs static")
+            .unwrap();
+        assert!(va >= hw, "var array {va} must beat linked list {hw}");
+        let dram = e
+            .row("Dynamic (Array of linked list) + PIM-malloc-HW/SW")
+            .unwrap()
+            .value("DRAM vs SW")
+            .unwrap();
+        assert!(dram < 1.0, "HW/SW must cut DRAM traffic: {dram}");
+    }
+}

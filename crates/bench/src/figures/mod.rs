@@ -1,0 +1,80 @@
+//! One generator per reproduced table/figure of the paper.
+//!
+//! Every function takes `quick: bool`; quick mode trims sweep sizes so
+//! `repro all --quick` completes in well under a minute, while the
+//! default scales match the paper's parameters where feasible.
+
+mod discussion_figs;
+mod dse_figs;
+mod graph_figs;
+mod llm_figs;
+mod micro_figs;
+mod overhead_figs;
+
+pub use discussion_figs::{discussion_cache_granularity, discussion_future_pim};
+pub use dse_figs::{fig6a, fig6b};
+pub use graph_figs::{fig11, fig17, fig3c};
+pub use llm_figs::{fig18, fig4b};
+pub use micro_figs::{ablation_descent, ablation_swlru, fig15, fig16, fig7, fig8};
+pub use overhead_figs::{hw_overhead, metadata_overhead, table3};
+
+use crate::report::Experiment;
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: [&str; 16] = [
+    "fig3c", "fig4b", "fig6a", "fig6b", "fig7", "fig8", "fig11", "fig15", "fig16", "fig17",
+    "fig18", "table3", "metadata-overhead", "hw-overhead", "ablations", "discussion",
+];
+
+/// Runs one experiment by id. `ablations` bundles the §IV-B fine-LRU
+/// ablation and the descent-policy ablation.
+///
+/// # Panics
+///
+/// Panics on an unknown id; `ALL_IDS` lists the valid ones.
+pub fn run(id: &str, quick: bool) -> Vec<Experiment> {
+    match id {
+        "fig3c" => vec![fig3c(quick)],
+        "fig4b" => vec![fig4b(quick)],
+        "fig6a" => vec![fig6a(quick)],
+        "fig6b" => vec![fig6b(quick)],
+        "fig7" => vec![fig7(quick)],
+        "fig8" => vec![fig8(quick)],
+        "fig11" => vec![fig11(quick)],
+        "fig15" => vec![fig15(quick)],
+        "fig16" => vec![fig16(quick)],
+        "fig17" => vec![fig17(quick)],
+        "fig18" => vec![fig18(quick)],
+        "table3" => vec![table3(quick)],
+        "metadata-overhead" => vec![metadata_overhead()],
+        "hw-overhead" => vec![hw_overhead()],
+        "ablations" => vec![ablation_swlru(quick), ablation_descent(quick)],
+        "discussion" => vec![
+            discussion_future_pim(quick),
+            discussion_cache_granularity(quick),
+        ],
+        other => panic!("unknown experiment id `{other}`; valid ids: {ALL_IDS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_id_runs_in_quick_mode() {
+        for id in ALL_IDS {
+            let out = run(id, true);
+            assert!(!out.is_empty(), "{id} produced no experiments");
+            for e in out {
+                assert!(!e.rows.is_empty(), "{id} produced an empty table");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        run("fig99", true);
+    }
+}

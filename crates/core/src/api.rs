@@ -1,0 +1,41 @@
+//! The common allocator interface (Table II of the paper).
+//!
+//! Workloads are written against [`PimAllocator`] so the same driver
+//! can run on the straw-man buddy allocator, PIM-malloc-SW, or
+//! PIM-malloc-HW/SW — exactly how the paper swaps allocators under its
+//! benchmarks.
+
+use std::any::Any;
+
+use pim_sim::TaskletCtx;
+
+use crate::error::AllocError;
+use crate::stats::AllocStats;
+
+/// A DPU-resident dynamic memory allocator.
+///
+/// Mirrors the paper's C API: `pimMalloc(size)` / `pimFree(ptr)`
+/// (Table II), with the simulator context threaded explicitly.
+pub trait PimAllocator {
+    /// Allocates `size` bytes, returning the block's MRAM address.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidSize`] for zero or over-heap sizes;
+    /// [`AllocError::OutOfMemory`] when no suitable block is free.
+    fn pim_malloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError>;
+
+    /// Deallocates the block at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] if `addr` is not a live allocation.
+    fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError>;
+
+    /// Allocation statistics accumulated so far.
+    fn alloc_stats(&self) -> &AllocStats;
+
+    /// Upcast for implementation-specific statistics (metadata
+    /// traffic, buddy-cache hit rates) behind a `dyn PimAllocator`.
+    fn as_any(&self) -> &dyn Any;
+}

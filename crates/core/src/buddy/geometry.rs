@@ -1,0 +1,248 @@
+//! Geometry of a buddy heap: the mapping between tree nodes, levels,
+//! block sizes, and heap addresses.
+//!
+//! The buddy tree is stored as an implicit binary heap: node `1` is the
+//! root covering the whole heap, node `i` has children `2i` and `2i+1`,
+//! and its buddy is `i ^ 1`. A node at level `ℓ` (root = level 0)
+//! covers a block of `heap_size >> ℓ` bytes. The deepest level `depth`
+//! covers blocks of `min_block` bytes, so
+//! `depth = log2(heap_size / min_block)` — the paper's "20-level tree"
+//! for a 32 MB heap with 32 B minimum blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a buddy heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuddyGeometry {
+    heap_base: u32,
+    heap_size: u32,
+    min_block: u32,
+    depth: u32,
+}
+
+impl BuddyGeometry {
+    /// Creates a geometry for a heap of `heap_size` bytes starting at
+    /// `heap_base`, with minimum block size `min_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two with
+    /// `min_block <= heap_size`.
+    pub fn new(heap_base: u32, heap_size: u32, min_block: u32) -> Self {
+        assert!(heap_size.is_power_of_two(), "heap size must be a power of two");
+        assert!(min_block.is_power_of_two(), "min block must be a power of two");
+        assert!(min_block <= heap_size, "min block exceeds heap size");
+        assert!(min_block >= 4, "min block must be at least 4 bytes");
+        let depth = (heap_size / min_block).trailing_zeros();
+        BuddyGeometry {
+            heap_base,
+            heap_size,
+            min_block,
+            depth,
+        }
+    }
+
+    /// First address of the heap region.
+    pub fn heap_base(&self) -> u32 {
+        self.heap_base
+    }
+
+    /// Heap capacity in bytes.
+    pub fn heap_size(&self) -> u32 {
+        self.heap_size
+    }
+
+    /// Smallest allocatable block in bytes.
+    pub fn min_block(&self) -> u32 {
+        self.min_block
+    }
+
+    /// Tree depth: `log2(heap_size / min_block)`. A 32 MB / 32 B heap
+    /// has depth 20 (the paper's straw-man); 32 MB / 4 KB has depth 13.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Total number of tree nodes (`2^(depth+1) − 1`), using 1-based
+    /// implicit-heap indices `1..=node_count`.
+    pub fn node_count(&self) -> u32 {
+        (1u32 << (self.depth + 1)) - 1
+    }
+
+    /// Bytes of metadata at 2 bits per node, including the unused
+    /// index-0 slot (this is what a DPU must reserve in MRAM).
+    pub fn metadata_bytes(&self) -> u32 {
+        // 2 bits per node, 4 nodes per byte, counting slot 0.
+        (self.node_count() + 1).div_ceil(4)
+    }
+
+    /// The tree level whose blocks are exactly `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two in
+    /// `[min_block, heap_size]`.
+    pub fn level_for_block(&self, block_size: u32) -> u32 {
+        assert!(
+            block_size.is_power_of_two()
+                && block_size >= self.min_block
+                && block_size <= self.heap_size,
+            "block size {block_size} outside heap geometry"
+        );
+        (self.heap_size / block_size).trailing_zeros()
+    }
+
+    /// Smallest power-of-two block (≥ `min_block`) that fits `size`
+    /// bytes, or `None` if `size` is zero or exceeds the heap.
+    pub fn block_for_size(&self, size: u32) -> Option<u32> {
+        if size == 0 || size > self.heap_size {
+            return None;
+        }
+        Some(size.next_power_of_two().max(self.min_block))
+    }
+
+    /// Level of node `idx` (root = level 0).
+    pub fn level_of(&self, idx: u32) -> u32 {
+        debug_assert!(idx >= 1 && idx <= self.node_count());
+        31 - idx.leading_zeros()
+    }
+
+    /// Block size covered by nodes at `level`.
+    pub fn block_size_at(&self, level: u32) -> u32 {
+        debug_assert!(level <= self.depth);
+        self.heap_size >> level
+    }
+
+    /// Heap address of the block covered by node `idx`.
+    pub fn addr_of(&self, idx: u32) -> u32 {
+        let level = self.level_of(idx);
+        let first = 1u32 << level;
+        self.heap_base + (idx - first) * self.block_size_at(level)
+    }
+
+    /// The node at `level` whose block contains heap address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the heap.
+    pub fn node_at(&self, level: u32, addr: u32) -> u32 {
+        assert!(
+            addr >= self.heap_base && addr - self.heap_base < self.heap_size,
+            "address {addr:#x} outside heap"
+        );
+        let off = addr - self.heap_base;
+        (1u32 << level) + off / self.block_size_at(level)
+    }
+
+    /// True if `addr` could be the base of a block at some level
+    /// (i.e. it is `min_block`-aligned and inside the heap).
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.heap_base && (addr - self.heap_base) < self.heap_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_straw_man() -> BuddyGeometry {
+        BuddyGeometry::new(0, 32 << 20, 32)
+    }
+
+    fn paper_backend() -> BuddyGeometry {
+        BuddyGeometry::new(0, 32 << 20, 4096)
+    }
+
+    #[test]
+    fn paper_depths_match() {
+        // §III-B: log2(32 MB / 32 B) = 20; §IV-A: log2(32 MB / 4 KB) = 13.
+        assert_eq!(paper_straw_man().depth(), 20);
+        assert_eq!(paper_backend().depth(), 13);
+    }
+
+    #[test]
+    fn straw_man_metadata_is_512kb() {
+        // §II-B: vanilla buddy over 32 MB needs 512 KB of metadata.
+        let bytes = paper_straw_man().metadata_bytes();
+        assert!((512 << 10..=(512 << 10) + 4).contains(&bytes), "got {bytes}");
+    }
+
+    #[test]
+    fn backend_metadata_is_4kb() {
+        // §VI-E: hierarchical design shrinks metadata to ~4 KB per bank.
+        let bytes = paper_backend().metadata_bytes();
+        assert!((4 << 10..=(4 << 10) + 4).contains(&bytes), "got {bytes}");
+    }
+
+    #[test]
+    fn level_and_block_size_roundtrip() {
+        let g = BuddyGeometry::new(0, 1 << 20, 32);
+        for level in 0..=g.depth() {
+            let bs = g.block_size_at(level);
+            assert_eq!(g.level_for_block(bs), level);
+        }
+    }
+
+    #[test]
+    fn addr_node_roundtrip_all_levels() {
+        let g = BuddyGeometry::new(0x1000, 4096, 64);
+        for level in 0..=g.depth() {
+            let first = 1u32 << level;
+            for idx in first..(first << 1) {
+                let addr = g.addr_of(idx);
+                assert_eq!(g.node_at(level, addr), idx);
+                assert_eq!(g.level_of(idx), level);
+            }
+        }
+    }
+
+    #[test]
+    fn block_for_size_rounds_up() {
+        let g = BuddyGeometry::new(0, 1 << 20, 32);
+        assert_eq!(g.block_for_size(1), Some(32));
+        assert_eq!(g.block_for_size(32), Some(32));
+        assert_eq!(g.block_for_size(33), Some(64));
+        assert_eq!(g.block_for_size(4097), Some(8192));
+        assert_eq!(g.block_for_size(0), None);
+        assert_eq!(g.block_for_size((1 << 20) + 1), None);
+        assert_eq!(g.block_for_size(1 << 20), Some(1 << 20));
+    }
+
+    #[test]
+    fn node_count_matches_depth() {
+        let g = BuddyGeometry::new(0, 256, 32);
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.node_count(), 15);
+    }
+
+    #[test]
+    fn children_and_buddy_arithmetic() {
+        let g = BuddyGeometry::new(0, 256, 32);
+        // Node 2's children cover the two halves of node 2's block.
+        assert_eq!(g.addr_of(4), g.addr_of(2));
+        assert_eq!(g.addr_of(5), g.addr_of(2) + g.block_size_at(2));
+        // Buddies differ in the lowest bit.
+        assert_eq!(g.addr_of(4 ^ 1), g.addr_of(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_heap_rejected() {
+        BuddyGeometry::new(0, 1000, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside heap")]
+    fn node_at_out_of_heap_panics() {
+        paper_backend().node_at(0, 64 << 20);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let g = BuddyGeometry::new(0x100, 256, 32);
+        assert!(g.contains(0x100));
+        assert!(g.contains(0x1ff));
+        assert!(!g.contains(0x200));
+        assert!(!g.contains(0xff));
+    }
+}

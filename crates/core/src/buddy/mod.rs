@@ -1,0 +1,7 @@
+//! The buddy allocator: tree traversal over a pluggable metadata store.
+
+mod allocator;
+mod geometry;
+
+pub use allocator::{BuddyAllocator, DescentPolicy, MetadataBackend};
+pub use geometry::BuddyGeometry;

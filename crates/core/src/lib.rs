@@ -1,0 +1,57 @@
+//! # pim-malloc — fast and scalable dynamic memory allocation for PIM
+//!
+//! A faithful Rust reproduction of the allocators from *"PIM-malloc: A
+//! Fast and Scalable Dynamic Memory Allocator for Processing-In-Memory
+//! (PIM) Architectures"* (HPCA 2026), running on the [`pim_sim`]
+//! UPMEM-like simulator substrate:
+//!
+//! * [`StrawManAllocator`] — the paper's `buddy_alloc_PIM_DRAM`
+//!   straw-man: one deep (20-level) mutex-protected buddy tree over the
+//!   whole 32 MB bank heap.
+//! * [`PimMalloc`] with [`BackendKind::Coarse`] — **PIM-malloc-SW**:
+//!   per-tasklet thread caches in front of a truncated (13-level) buddy
+//!   backend whose metadata sits behind a coarse software-managed
+//!   WRAM buffer.
+//! * [`PimMalloc`] with [`BackendKind::HwCache`] —
+//!   **PIM-malloc-HW/SW**: the same hierarchy with the backend's
+//!   metadata served by a per-core hardware buddy cache (a 16-entry
+//!   CAM with LRU replacement and 1-cycle access).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
+//! use pim_sim::{DpuConfig, DpuSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
+//! let mut alloc = PimMalloc::init(&mut dpu, PimMallocConfig::sw(16))?;
+//! let mut ctx = dpu.ctx(0);
+//! let ptr = alloc.pim_malloc(&mut ctx, 256)?;
+//! alloc.pim_free(&mut ctx, ptr)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod buddy;
+pub mod error;
+pub mod frag;
+pub mod metadata;
+pub mod pim_malloc;
+pub mod stats;
+pub mod straw_man;
+pub mod thread_cache;
+
+pub use api::PimAllocator;
+pub use buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
+pub use error::{AllocError, InitError};
+pub use frag::FragTracker;
+pub use metadata::{MetaStats, MetadataStore, NodeState};
+pub use pim_malloc::{BackendKind, PimMalloc, PimMallocConfig};
+pub use stats::{AllocStats, ServiceSite};
+pub use straw_man::{StrawManAllocator, StrawManConfig};
+pub use thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};

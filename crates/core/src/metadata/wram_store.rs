@@ -1,0 +1,102 @@
+//! Metadata resident entirely in the WRAM scratchpad.
+//!
+//! This is how UPMEM's stock `buddy_alloc()` works: the heap is small
+//! enough (≤64 KB) that the whole 2-bit tree fits in scratchpad, and
+//! every metadata access is an ordinary load/store instruction.
+
+use pim_sim::TaskletCtx;
+
+use super::{BitArray, MetaStats, MetadataStore, NodeState};
+
+/// Instructions per metadata access (index arithmetic + load/store +
+/// bit extraction on the DPU).
+const ACCESS_INSTRS: u64 = 3;
+
+/// Buddy-tree metadata stored wholly in WRAM.
+#[derive(Debug, Clone)]
+pub struct WramStore {
+    bits: BitArray,
+    stats: MetaStats,
+}
+
+impl WramStore {
+    /// Creates a store for a tree of `nodes` nodes (1-based indices).
+    pub fn new(nodes: u32) -> Self {
+        WramStore {
+            bits: BitArray::new(nodes),
+            stats: MetaStats::default(),
+        }
+    }
+
+    /// Bytes of WRAM this store occupies.
+    pub fn wram_bytes(&self) -> u32 {
+        self.bits.len_bytes()
+    }
+}
+
+impl MetadataStore for WramStore {
+    fn get(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32) -> NodeState {
+        ctx.instrs(ACCESS_INSTRS);
+        self.stats.hits += 1;
+        self.bits.get(idx)
+    }
+
+    fn set(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32, state: NodeState) {
+        ctx.instrs(ACCESS_INSTRS);
+        self.stats.hits += 1;
+        self.bits.set(idx, state);
+    }
+
+    fn reset(&mut self, ctx: &mut TaskletCtx<'_>) {
+        // memset of the tree in WRAM: ~1 instruction per 8 bytes.
+        ctx.instrs(u64::from(self.bits.len_bytes() / 8 + 1));
+        self.bits.clear();
+        self.stats = MetaStats::default();
+    }
+
+    fn stats(&self) -> MetaStats {
+        self.stats
+    }
+
+    fn peek(&self, idx: u32) -> NodeState {
+        self.bits.get(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, DpuSim};
+
+    #[test]
+    fn get_set_roundtrip_and_cost() {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
+        let mut store = WramStore::new(31);
+        let mut ctx = dpu.ctx(0);
+        store.set(&mut ctx, 5, NodeState::Allocated);
+        assert_eq!(store.get(&mut ctx, 5), NodeState::Allocated);
+        assert_eq!(store.peek(5), NodeState::Allocated);
+        // Two accesses, ACCESS_INSTRS each.
+        assert_eq!(dpu.total_stats().instrs, 2 * ACCESS_INSTRS);
+        assert_eq!(dpu.traffic().total_bytes(), 0, "WRAM store never touches DRAM");
+    }
+
+    #[test]
+    fn reset_clears_and_recounts() {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
+        let mut store = WramStore::new(31);
+        let mut ctx = dpu.ctx(0);
+        store.set(&mut ctx, 3, NodeState::Split);
+        store.reset(&mut ctx);
+        assert_eq!(store.peek(3), NodeState::Free);
+        assert_eq!(store.stats(), MetaStats::default());
+    }
+
+    #[test]
+    fn wram_footprint_matches_geometry() {
+        // UPMEM's 32 KB scratchpad heap with 32 B min blocks: depth 10,
+        // 2^11 nodes, ~512 B of metadata (§III-C).
+        let store = WramStore::new((1 << 11) - 1);
+        assert!(store.wram_bytes() <= 513);
+    }
+}

@@ -1,0 +1,655 @@
+//! PIM-malloc: the hierarchical allocator (§IV of the paper).
+//!
+//! [`PimMalloc`] combines per-tasklet [`ThreadCache`] frontends with a
+//! mutex-protected backend [`BuddyAllocator`] whose tree is truncated
+//! at 4 KB blocks (depth 13 for a 32 MB heap instead of the straw-man's
+//! depth 20). Requests up to the largest size class (2 KB) are served
+//! lock-free from the calling tasklet's cache; larger requests bypass
+//! to the backend (Figure 10).
+//!
+//! The backend's metadata store selects between the paper's variants:
+//! a coarse software buffer (**PIM-malloc-SW**), the hardware buddy
+//! cache (**PIM-malloc-HW/SW**), or the fine-grained software LRU
+//! ablation.
+
+use std::collections::BTreeMap;
+
+use pim_sim::{BuddyCacheConfig, BuddyCacheStats, DpuSim, MutexId, TaskletCtx};
+
+use crate::api::PimAllocator;
+use crate::buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
+use crate::error::{AllocError, InitError};
+use crate::frag::FragTracker;
+use crate::metadata::{MetaStats, MetadataStore};
+use crate::stats::{AllocStats, ServiceSite};
+use crate::thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};
+
+/// Fixed instructions of `pim_malloc` entry (argument checks, size
+/// classification).
+const MALLOC_ENTRY_INSTRS: u64 = 15;
+/// Fixed instructions of `pim_free` entry (block-header lookup that
+/// routes the free to a thread cache or the backend).
+const FREE_ENTRY_INSTRS: u64 = 20;
+
+/// Which metadata store the backend buddy allocator runs on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendKind {
+    /// Coarse software-managed WRAM window — **PIM-malloc-SW**.
+    Coarse {
+        /// WRAM window size in bytes (paper: 2 KB).
+        buffer_bytes: u32,
+    },
+    /// Fine-grained software LRU — the §IV-B ablation.
+    FineLru {
+        /// Number of cached granules.
+        entries: usize,
+        /// Granule size in bytes.
+        granule_bytes: u32,
+    },
+    /// Hardware buddy cache — **PIM-malloc-HW/SW**.
+    HwCache {
+        /// CAM configuration (paper default: 16 × 4 B).
+        cache: BuddyCacheConfig,
+    },
+    /// Line-granular general-purpose metadata cache — the §VII
+    /// cache-enabled-PIM counterfactual.
+    LineCache {
+        /// Total cache capacity in bytes.
+        capacity_bytes: u32,
+        /// Cache line size in bytes (e.g. 64).
+        line_bytes: u32,
+    },
+}
+
+/// Configuration of a [`PimMalloc`] instance (one per DPU).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PimMallocConfig {
+    /// First address of the heap region in MRAM.
+    pub heap_base: u32,
+    /// Heap capacity in bytes (power of two; paper: 32 MB).
+    pub heap_size: u32,
+    /// MRAM address of the backend's metadata array.
+    pub meta_base: u32,
+    /// Backend block size = minimum buddy block (paper: 4 KB).
+    pub backend_min_block: u32,
+    /// Thread-cache size classes (paper: 16 B … 2 KB, powers of two).
+    pub size_classes: Vec<u32>,
+    /// Number of tasklets (thread caches) to provision.
+    pub n_tasklets: usize,
+    /// Metadata store of the backend.
+    pub backend: BackendKind,
+    /// Pre-populate every thread-cache pool with one free 4 KB block
+    /// during init (the paper's default; `false` = PIM-malloc-lazy).
+    pub prepopulate: bool,
+    /// Backend descent policy (ablation hook; paper default prunes
+    /// full subtrees).
+    pub descent: DescentPolicy,
+}
+
+impl PimMallocConfig {
+    /// The paper's PIM-malloc-SW configuration for `n_tasklets`.
+    pub fn sw(n_tasklets: usize) -> Self {
+        PimMallocConfig {
+            heap_base: 0x0200_0000,
+            heap_size: 32 << 20,
+            meta_base: 0x0100_0000,
+            backend_min_block: CACHE_BLOCK_BYTES,
+            size_classes: DEFAULT_SIZE_CLASSES.to_vec(),
+            n_tasklets,
+            backend: BackendKind::Coarse { buffer_bytes: 2048 },
+            prepopulate: true,
+            descent: DescentPolicy::FullMarks,
+        }
+    }
+
+    /// The paper's PIM-malloc-HW/SW configuration for `n_tasklets`.
+    pub fn hw_sw(n_tasklets: usize) -> Self {
+        PimMallocConfig {
+            backend: BackendKind::HwCache {
+                cache: BuddyCacheConfig::default(),
+            },
+            ..Self::sw(n_tasklets)
+        }
+    }
+
+    /// Disables thread-cache pre-population (PIM-malloc-lazy,
+    /// Table III).
+    pub fn lazy(mut self) -> Self {
+        self.prepopulate = false;
+        self
+    }
+
+    /// Overrides the heap size.
+    pub fn with_heap_size(mut self, bytes: u32) -> Self {
+        self.heap_size = bytes;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Route {
+    Class { idx: usize, owner: usize },
+    Bypass,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Live {
+    requested: u32,
+    route: Route,
+}
+
+/// The hierarchical PIM-malloc allocator for one DPU.
+#[derive(Debug)]
+pub struct PimMalloc {
+    caches: Vec<ThreadCache>,
+    backend: BuddyAllocator,
+    backend_mutex: MutexId,
+    live: BTreeMap<u32, Live>,
+    stats: AllocStats,
+    frag: FragTracker,
+    init_end: pim_sim::Cycles,
+}
+
+impl PimMalloc {
+    /// Initializes the allocator on a DPU: reserves WRAM for the
+    /// metadata buffer and thread-cache bitmaps, zeroes the backend
+    /// metadata, and (optionally) pre-populates the thread caches.
+    ///
+    /// Initialization runs on tasklet 0, as in the paper (`initAllocator`
+    /// is executed by the designated thread).
+    ///
+    /// # Errors
+    ///
+    /// [`InitError::Wram`] if the WRAM budget is exceeded;
+    /// [`InitError::Alloc`] if pre-population exhausts the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed configuration (non-power-of-two sizes,
+    /// empty/invalid size-class list, tasklet count outside 1..=24).
+    pub fn init(dpu: &mut DpuSim, config: PimMallocConfig) -> Result<Self, InitError> {
+        assert!(
+            config.n_tasklets >= 1 && config.n_tasklets <= 24,
+            "tasklet count {} outside 1..=24",
+            config.n_tasklets
+        );
+        let geometry =
+            BuddyGeometry::new(config.heap_base, config.heap_size, config.backend_min_block);
+        let caches: Vec<ThreadCache> = (0..config.n_tasklets)
+            .map(|_| ThreadCache::new(&config.size_classes))
+            .collect();
+
+        // WRAM budget: backend metadata buffer + per-tasklet bitmaps.
+        match config.backend {
+            BackendKind::Coarse { buffer_bytes } => {
+                dpu.wram_mut().reserve("buddy metadata buffer", buffer_bytes)?;
+            }
+            BackendKind::FineLru {
+                entries,
+                granule_bytes,
+            } => {
+                dpu.wram_mut()
+                    .reserve("fine-lru metadata buffer", entries as u32 * granule_bytes)?;
+            }
+            BackendKind::HwCache { .. } => {
+                // The buddy cache is dedicated hardware; only a staging
+                // beat in WRAM is needed for miss handling.
+                dpu.wram_mut().reserve("buddy cache staging", 8)?;
+            }
+            BackendKind::LineCache { line_bytes, .. } => {
+                dpu.wram_mut().reserve("line cache staging", line_bytes)?;
+            }
+        }
+        let bitmap_bytes: u32 = caches.iter().map(ThreadCache::bitmap_wram_bytes).sum();
+        dpu.wram_mut().reserve("thread cache bitmaps", bitmap_bytes)?;
+
+        let store = match config.backend {
+            BackendKind::Coarse { buffer_bytes } => {
+                MetadataBackend::coarse(&geometry, config.meta_base, buffer_bytes)
+            }
+            BackendKind::FineLru {
+                entries,
+                granule_bytes,
+            } => MetadataBackend::fine_lru(&geometry, config.meta_base, entries, granule_bytes),
+            BackendKind::HwCache { cache } => {
+                MetadataBackend::hw_cache(&geometry, config.meta_base, cache)
+            }
+            BackendKind::LineCache {
+                capacity_bytes,
+                line_bytes,
+            } => MetadataBackend::line_cache(&geometry, config.meta_base, capacity_bytes, line_bytes),
+        };
+        let mut backend = BuddyAllocator::new(geometry, store).with_policy(config.descent);
+        let backend_mutex = dpu.alloc_mutex();
+
+        let mut this = {
+            let mut ctx = dpu.ctx(0);
+            backend.reset(&mut ctx);
+            PimMalloc {
+                caches,
+                backend,
+                backend_mutex,
+                live: BTreeMap::new(),
+                stats: AllocStats::default(),
+                frag: FragTracker::new(),
+                init_end: pim_sim::Cycles::ZERO,
+            }
+        };
+
+        if config.prepopulate {
+            let n_classes = config.size_classes.len();
+            for tid in 0..config.n_tasklets {
+                for class_idx in 0..n_classes {
+                    let mut ctx = dpu.ctx(0);
+                    let base = this.backend.alloc(&mut ctx, CACHE_BLOCK_BYTES)?;
+                    this.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
+                    this.caches[tid].add_block(&mut ctx, class_idx, base);
+                }
+            }
+        }
+        this.init_end = dpu.clock(0);
+        Ok(this)
+    }
+
+    /// Allocation statistics (service sites, latency attribution).
+    pub fn alloc_stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    /// Fragmentation tracker (A/U accounting, Table III).
+    pub fn frag(&self) -> &FragTracker {
+        &self.frag
+    }
+
+    /// Metadata-store transfer statistics of the backend.
+    pub fn metadata_stats(&self) -> MetaStats {
+        self.backend.store().stats()
+    }
+
+    /// Hardware buddy-cache statistics, if this instance runs
+    /// PIM-malloc-HW/SW.
+    pub fn buddy_cache_stats(&self) -> Option<BuddyCacheStats> {
+        match self.backend.store() {
+            MetadataBackend::HwCache(s) => Some(s.cache_stats()),
+            _ => None,
+        }
+    }
+
+    /// The backend buddy allocator (read-only).
+    pub fn backend(&self) -> &BuddyAllocator {
+        &self.backend
+    }
+
+    /// The thread caches, indexed by tasklet id.
+    pub fn caches(&self) -> &[ThreadCache] {
+        &self.caches
+    }
+
+    /// Tasklet-0 time when `init` finished (initialization cost).
+    pub fn init_end(&self) -> pim_sim::Cycles {
+        self.init_end
+    }
+
+    /// Number of live user allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    fn backend_alloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
+        ctx.mutex_lock(self.backend_mutex);
+        let result = self.backend.alloc(ctx, size);
+        ctx.mutex_unlock(self.backend_mutex);
+        result
+    }
+
+    fn backend_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<u32, AllocError> {
+        ctx.mutex_lock(self.backend_mutex);
+        let result = self.backend.free(ctx, addr);
+        ctx.mutex_unlock(self.backend_mutex);
+        result
+    }
+}
+
+impl PimAllocator for PimMalloc {
+    /// Allocates `size` bytes for the calling tasklet (Figure 10).
+    fn pim_malloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
+        let start = ctx.now();
+        ctx.instrs(MALLOC_ENTRY_INSTRS);
+        if size == 0 {
+            return Err(AllocError::InvalidSize { requested: size });
+        }
+        let tid = ctx.tid();
+        let (addr, site, route) = match self.caches[tid].class_for(size) {
+            Some(class_idx) => match self.caches[tid].alloc(ctx, class_idx) {
+                // Case 1: thread cache hit.
+                Some(addr) => (
+                    addr,
+                    ServiceSite::FrontendHit,
+                    Route::Class {
+                        idx: class_idx,
+                        owner: tid,
+                    },
+                ),
+                // Case 2: thread cache miss — refill from the backend.
+                None => {
+                    let base = self.backend_alloc(ctx, CACHE_BLOCK_BYTES)?;
+                    self.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
+                    self.caches[tid].add_block(ctx, class_idx, base);
+                    let addr = self.caches[tid]
+                        .alloc(ctx, class_idx)
+                        .expect("fresh block has free sub-blocks");
+                    (
+                        addr,
+                        ServiceSite::FrontendRefill,
+                        Route::Class {
+                            idx: class_idx,
+                            owner: tid,
+                        },
+                    )
+                }
+            },
+            // Case 3: thread cache bypass.
+            None => {
+                let addr = self.backend_alloc(ctx, size)?;
+                let reserved = self
+                    .backend
+                    .geometry()
+                    .block_for_size(size)
+                    .expect("validated by backend");
+                self.frag.on_reserve(u64::from(reserved));
+                (addr, ServiceSite::Bypass, Route::Bypass)
+            }
+        };
+        self.live.insert(
+            addr,
+            Live {
+                requested: size,
+                route,
+            },
+        );
+        self.frag.on_user_alloc(u64::from(size));
+        self.stats.record_malloc(site, ctx.now() - start);
+        Ok(addr)
+    }
+
+    /// Frees the allocation at `addr`.
+    fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
+        ctx.instrs(FREE_ENTRY_INSTRS);
+        let live = self
+            .live
+            .remove(&addr)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        match live.route {
+            Route::Class { idx, owner } => match self.caches[owner].free(ctx, idx, addr) {
+                FreeOutcome::Cached => self.stats.record_free(false),
+                FreeOutcome::BlockReleased { block_base } => {
+                    self.backend_free(ctx, block_base)?;
+                    self.frag.on_release(u64::from(CACHE_BLOCK_BYTES));
+                    self.stats.record_free(true);
+                }
+            },
+            Route::Bypass => {
+                let freed = self.backend_free(ctx, addr)?;
+                self.frag.on_release(u64::from(freed));
+                self.stats.record_free(true);
+            }
+        }
+        self.frag.on_user_free(u64::from(live.requested));
+        Ok(())
+    }
+
+    fn alloc_stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::DpuConfig;
+
+    fn dpu(tasklets: usize) -> DpuSim {
+        DpuSim::new(DpuConfig::default().with_tasklets(tasklets))
+    }
+
+    fn small_sw(tasklets: usize) -> PimMallocConfig {
+        // A 1 MB heap keeps tests fast while preserving structure.
+        PimMallocConfig {
+            heap_size: 1 << 20,
+            ..PimMallocConfig::sw(tasklets)
+        }
+    }
+
+    #[test]
+    fn init_prepopulates_every_pool() {
+        let mut d = dpu(4);
+        let pm = PimMalloc::init(&mut d, small_sw(4)).unwrap();
+        for cache in pm.caches() {
+            for pool in cache.pools() {
+                assert_eq!(pool.block_count(), 1);
+            }
+        }
+        // 4 tasklets × 8 classes × 4 KB reserved, nothing requested yet.
+        assert_eq!(pm.frag().reserved_live(), 4 * 8 * 4096);
+        assert!(pm.init_end() > pim_sim::Cycles::ZERO);
+    }
+
+    #[test]
+    fn lazy_init_reserves_nothing() {
+        let mut d = dpu(4);
+        let pm = PimMalloc::init(&mut d, small_sw(4).lazy()).unwrap();
+        assert_eq!(pm.frag().reserved_live(), 0);
+        for cache in pm.caches() {
+            assert!(cache.pools().iter().all(|p| p.block_count() == 0));
+        }
+    }
+
+    #[test]
+    fn small_allocation_hits_thread_cache() {
+        let mut d = dpu(2);
+        let mut pm = PimMalloc::init(&mut d, small_sw(2)).unwrap();
+        let mut ctx = d.ctx(1);
+        let addr = pm.pim_malloc(&mut ctx, 128).unwrap();
+        assert_eq!(pm.alloc_stats().frontend_hits, 1);
+        assert_eq!(pm.live_allocations(), 1);
+        pm.pim_free(&mut ctx, addr).unwrap();
+        assert_eq!(pm.alloc_stats().frees_frontend, 1);
+        assert_eq!(pm.live_allocations(), 0);
+    }
+
+    #[test]
+    fn cache_exhaustion_triggers_refill() {
+        let mut d = dpu(1);
+        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut ctx = d.ctx(0);
+        // 2 KB class holds 2 sub-blocks per 4 KB block; the third
+        // allocation forces a backend refill.
+        let a = pm.pim_malloc(&mut ctx, 2048).unwrap();
+        let b = pm.pim_malloc(&mut ctx, 2048).unwrap();
+        let c = pm.pim_malloc(&mut ctx, 2048).unwrap();
+        assert_eq!(pm.alloc_stats().frontend_hits, 2);
+        assert_eq!(pm.alloc_stats().frontend_refills, 1);
+        for x in [a, b, c] {
+            pm.pim_free(&mut ctx, x).unwrap();
+        }
+    }
+
+    #[test]
+    fn big_allocation_bypasses_cache() {
+        let mut d = dpu(1);
+        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut ctx = d.ctx(0);
+        let addr = pm.pim_malloc(&mut ctx, 8192).unwrap();
+        assert_eq!(pm.alloc_stats().bypass, 1);
+        assert_eq!(addr % 8192, pm.backend().geometry().heap_base() % 8192);
+        pm.pim_free(&mut ctx, addr).unwrap();
+        assert_eq!(pm.alloc_stats().frees_backend, 1);
+    }
+
+    #[test]
+    fn frontend_hit_is_much_faster_than_refill_or_bypass() {
+        let mut d = dpu(1);
+        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut ctx = d.ctx(0);
+        let t0 = ctx.now();
+        pm.pim_malloc(&mut ctx, 64).unwrap();
+        let hit = (ctx.now() - t0).0;
+        let t0 = ctx.now();
+        pm.pim_malloc(&mut ctx, 4096).unwrap();
+        let bypass = (ctx.now() - t0).0;
+        assert!(
+            bypass > hit * 3,
+            "bypass ({bypass}) must dwarf a cache hit ({hit})"
+        );
+    }
+
+    #[test]
+    fn distinct_tasklets_get_distinct_memory_without_contention() {
+        let mut d = dpu(16);
+        let mut pm = PimMalloc::init(&mut d, small_sw(16)).unwrap();
+        let mut addrs = Vec::new();
+        for tid in 0..16 {
+            let mut ctx = d.ctx(tid);
+            for _ in 0..4 {
+                addrs.push(pm.pim_malloc(&mut ctx, 256).unwrap());
+            }
+        }
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 64, "no overlap across tasklets");
+        // All served by private caches: the backend mutex was never
+        // contended.
+        let total = d.total_stats();
+        assert_eq!(total.busy_wait, pim_sim::Cycles::ZERO);
+        assert_eq!(pm.alloc_stats().frontend_hits, 64);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let mut d = dpu(1);
+        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut ctx = d.ctx(0);
+        assert!(matches!(
+            pm.pim_malloc(&mut ctx, 0),
+            Err(AllocError::InvalidSize { .. })
+        ));
+        assert!(matches!(
+            pm.pim_free(&mut ctx, 0x1234),
+            Err(AllocError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn heap_exhaustion_reports_oom() {
+        let mut d = dpu(1);
+        let cfg = PimMallocConfig {
+            heap_size: 64 << 10, // 16 backend blocks
+            ..PimMallocConfig::sw(1)
+        };
+        let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
+        let mut ctx = d.ctx(0);
+        let mut count = 0;
+        loop {
+            match pm.pim_malloc(&mut ctx, 32 << 10) {
+                Ok(_) => count += 1,
+                Err(AllocError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // 8 blocks of 4 KB went to pre-population, leaving 32 KB.
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn hwsw_variant_reports_cache_stats() {
+        let mut d = dpu(1);
+        let cfg = PimMallocConfig {
+            heap_size: 1 << 20,
+            ..PimMallocConfig::hw_sw(1)
+        };
+        let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
+        let mut ctx = d.ctx(0);
+        for _ in 0..16 {
+            pm.pim_malloc(&mut ctx, 4096).unwrap();
+        }
+        let stats = pm.buddy_cache_stats().expect("HW/SW has a buddy cache");
+        assert!(stats.hits + stats.misses > 0);
+        // The SW variant reports none.
+        let mut d2 = dpu(1);
+        let pm2 = PimMalloc::init(&mut d2, small_sw(1)).unwrap();
+        assert!(pm2.buddy_cache_stats().is_none());
+    }
+
+    #[test]
+    fn fragmentation_of_prepopulated_single_class_workload() {
+        // Table III intuition: a workload that only ever touches one
+        // size class leaves 7 of 8 pre-populated pools unused.
+        let mut d = dpu(1);
+        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut ctx = d.ctx(0);
+        for _ in 0..16 {
+            pm.pim_malloc(&mut ctx, 256).unwrap();
+        }
+        let eager = pm.frag().ratio();
+
+        let mut d2 = dpu(1);
+        let mut pm2 = PimMalloc::init(&mut d2, small_sw(1).lazy()).unwrap();
+        let mut ctx2 = d2.ctx(0);
+        for _ in 0..16 {
+            pm2.pim_malloc(&mut ctx2, 256).unwrap();
+        }
+        let lazy = pm2.frag().ratio();
+        assert!(
+            eager > lazy,
+            "pre-population must increase fragmentation ({eager} vs {lazy})"
+        );
+        assert!(lazy >= 1.0);
+    }
+
+    #[test]
+    fn wram_budget_is_enforced() {
+        let mut d = dpu(1);
+        let cfg = PimMallocConfig {
+            backend: BackendKind::Coarse {
+                buffer_bytes: 128 << 10, // bigger than WRAM
+            },
+            ..small_sw(1)
+        };
+        assert!(matches!(
+            PimMalloc::init(&mut d, cfg),
+            Err(InitError::Wram(_))
+        ));
+    }
+
+    #[test]
+    fn alloc_free_cycle_preserves_backend_capacity() {
+        let mut d = dpu(2);
+        let mut pm = PimMalloc::init(&mut d, small_sw(2)).unwrap();
+        let free0 = pm.backend().free_bytes();
+        for round in 0..3 {
+            let mut addrs = Vec::new();
+            for tid in 0..2 {
+                let mut ctx = d.ctx(tid);
+                for i in 0..64 {
+                    let size = [24, 100, 500, 1500][(i + round) % 4];
+                    addrs.push((tid, pm.pim_malloc(&mut ctx, size).unwrap()));
+                }
+            }
+            for (tid, addr) in addrs {
+                let mut ctx = d.ctx(tid);
+                pm.pim_free(&mut ctx, addr).unwrap();
+            }
+        }
+        // All user memory returned; caches may retain one block per
+        // touched pool beyond the pre-populated one... but never grow
+        // without bound.
+        assert!(pm.backend().free_bytes() <= free0);
+        assert_eq!(pm.live_allocations(), 0);
+        assert_eq!(pm.frag().requested_live(), 0);
+        pm.backend().check_invariants();
+    }
+}

@@ -1,0 +1,400 @@
+//! The per-tasklet thread cache — PIM-malloc's frontend (§IV-A).
+//!
+//! Each tasklet owns one [`ThreadCache`] with eight size-class pools
+//! (16 B … 2 KB by default). Each pool holds 4 KB blocks obtained from
+//! the backend buddy allocator, subdivided into fixed-size sub-blocks
+//! whose availability is tracked by a per-block bitmap (bit = 1 means
+//! free, as in Figure 9(b) of the paper). Because the cache is private
+//! to its tasklet, no mutex is needed: small allocations are O(1) and
+//! contention-free.
+
+use pim_sim::TaskletCtx;
+use serde::{Deserialize, Serialize};
+
+/// The paper's default size classes: powers of two from 16 B to 2 KB.
+pub const DEFAULT_SIZE_CLASSES: [u32; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Size of the blocks the frontend requests from the backend.
+pub const CACHE_BLOCK_BYTES: u32 = 4096;
+
+/// Fixed instructions of a frontend alloc/free attempt: size-class
+/// lookup (a loop over classes on a core without a divider), list-head
+/// load, and call overhead.
+const REQUEST_INSTRS: u64 = 120;
+/// Instructions per 4 KB block examined while scanning a class list.
+const BLOCK_SCAN_INSTRS: u64 = 6;
+/// Instructions per bitmap word examined.
+const WORD_SCAN_INSTRS: u64 = 8;
+/// Instructions to flip a bitmap bit and compute the sub-block address.
+const BIT_OP_INSTRS: u64 = 30;
+
+/// One 4 KB block subdivided into `class_bytes` sub-blocks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheBlock {
+    base: u32,
+    /// Bitmap of sub-blocks, 1 = free.
+    bitmap: Vec<u64>,
+    free_slots: u32,
+    slots: u32,
+}
+
+impl CacheBlock {
+    fn new(base: u32, class_bytes: u32) -> Self {
+        let slots = CACHE_BLOCK_BYTES / class_bytes;
+        let words = (slots as usize).div_ceil(64);
+        let mut bitmap = vec![u64::MAX; words];
+        // Clear padding bits beyond `slots`.
+        let tail = slots as usize % 64;
+        if tail != 0 {
+            *bitmap.last_mut().expect("at least one word") = (1u64 << tail) - 1;
+        }
+        CacheBlock {
+            base,
+            bitmap,
+            free_slots: slots,
+            slots,
+        }
+    }
+
+    fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.base + CACHE_BLOCK_BYTES
+    }
+}
+
+/// One size-class pool: a list of 4 KB blocks plus their bitmaps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeClassPool {
+    class_bytes: u32,
+    blocks: Vec<CacheBlock>,
+}
+
+impl SizeClassPool {
+    fn new(class_bytes: u32) -> Self {
+        SizeClassPool {
+            class_bytes,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Sub-block size of this pool.
+    pub fn class_bytes(&self) -> u32 {
+        self.class_bytes
+    }
+
+    /// Number of 4 KB blocks currently held.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Free sub-blocks across all blocks.
+    pub fn free_slots(&self) -> u32 {
+        self.blocks.iter().map(|b| b.free_slots).sum()
+    }
+}
+
+/// Outcome of [`ThreadCache::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeOutcome {
+    /// The sub-block was returned to its pool.
+    Cached,
+    /// The containing 4 KB block became fully free and was detached;
+    /// the caller must return `block_base` to the backend.
+    BlockReleased {
+        /// Base address of the released 4 KB block.
+        block_base: u32,
+    },
+}
+
+/// A private, mutex-free allocation frontend for one tasklet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadCache {
+    pools: Vec<SizeClassPool>,
+}
+
+impl ThreadCache {
+    /// Creates an empty cache with the given size classes (strictly
+    /// increasing powers of two, each dividing 4 KB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class list is empty or malformed.
+    pub fn new(size_classes: &[u32]) -> Self {
+        assert!(!size_classes.is_empty(), "need at least one size class");
+        let mut prev = 0;
+        for &c in size_classes {
+            assert!(c.is_power_of_two(), "size class {c} not a power of two");
+            assert!(c > prev, "size classes must be strictly increasing");
+            assert!(
+                c <= CACHE_BLOCK_BYTES / 2,
+                "size class {c} too large for a {CACHE_BLOCK_BYTES} B block"
+            );
+            prev = c;
+        }
+        ThreadCache {
+            pools: size_classes.iter().map(|&c| SizeClassPool::new(c)).collect(),
+        }
+    }
+
+    /// The pools, smallest class first.
+    pub fn pools(&self) -> &[SizeClassPool] {
+        &self.pools
+    }
+
+    /// Largest size the cache can serve; bigger requests must bypass.
+    pub fn max_class_bytes(&self) -> u32 {
+        self.pools.last().expect("nonempty").class_bytes
+    }
+
+    /// Index of the smallest class that fits `size`, or `None` if the
+    /// request must bypass the cache.
+    pub fn class_for(&self, size: u32) -> Option<usize> {
+        if size == 0 {
+            return None;
+        }
+        self.pools.iter().position(|p| p.class_bytes >= size)
+    }
+
+    /// WRAM bytes needed for one block's bitmap in every pool — the
+    /// steady-state scratchpad footprint of this cache's metadata.
+    pub fn bitmap_wram_bytes(&self) -> u32 {
+        self.pools
+            .iter()
+            .map(|p| (CACHE_BLOCK_BYTES / p.class_bytes).div_ceil(8))
+            .sum()
+    }
+
+    /// Attempts to allocate from the class pool `class_idx`.
+    ///
+    /// Returns the sub-block address, or `None` if every block in the
+    /// pool is exhausted (the caller should fetch a block from the
+    /// backend and retry).
+    pub fn alloc(&mut self, ctx: &mut TaskletCtx<'_>, class_idx: usize) -> Option<u32> {
+        ctx.instrs(REQUEST_INSTRS);
+        let pool = &mut self.pools[class_idx];
+        for (bi, block) in pool.blocks.iter_mut().enumerate() {
+            ctx.instrs(BLOCK_SCAN_INSTRS);
+            if block.free_slots == 0 {
+                continue;
+            }
+            for (wi, word) in block.bitmap.iter_mut().enumerate() {
+                ctx.instrs(WORD_SCAN_INSTRS);
+                if *word != 0 {
+                    let bit = word.trailing_zeros();
+                    ctx.instrs(BIT_OP_INSTRS);
+                    *word &= !(1u64 << bit);
+                    block.free_slots -= 1;
+                    let slot = wi as u32 * 64 + bit;
+                    let addr = block.base + slot * pool.class_bytes;
+                    // Keep the most recently used block at the front so
+                    // the common case scans one block.
+                    if bi != 0 {
+                        let b = pool.blocks.remove(bi);
+                        pool.blocks.insert(0, b);
+                    }
+                    return Some(addr);
+                }
+            }
+            unreachable!("free_slots > 0 implies a set bit");
+        }
+        None
+    }
+
+    /// Installs a fresh 4 KB block (from the backend) into a pool.
+    pub fn add_block(&mut self, ctx: &mut TaskletCtx<'_>, class_idx: usize, base: u32) {
+        ctx.instrs(BIT_OP_INSTRS + 4); // link block, init bitmap head
+        let class = self.pools[class_idx].class_bytes;
+        self.pools[class_idx]
+            .blocks
+            .insert(0, CacheBlock::new(base, class));
+    }
+
+    /// Frees the sub-block at `addr` in pool `class_idx`.
+    ///
+    /// If the containing block becomes entirely free **and** the pool
+    /// holds another block, the block is detached and returned for the
+    /// caller to hand back to the backend; the pool always keeps its
+    /// last block to avoid thrashing the buddy allocator on
+    /// alloc/free ping-pong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not belong to any block of the pool or the
+    /// sub-block is already free (double free) — both are program bugs
+    /// the shadow bookkeeping in [`crate::PimMalloc`] rules out.
+    pub fn free(&mut self, ctx: &mut TaskletCtx<'_>, class_idx: usize, addr: u32) -> FreeOutcome {
+        ctx.instrs(REQUEST_INSTRS);
+        let pool = &mut self.pools[class_idx];
+        let bi = pool
+            .blocks
+            .iter()
+            .position(|b| {
+                // Cost of walking the block list.
+                b.contains(addr)
+            })
+            .expect("freed address belongs to this pool");
+        ctx.instrs(BLOCK_SCAN_INSTRS * (bi as u64 + 1) + BIT_OP_INSTRS);
+        let block = &mut pool.blocks[bi];
+        let slot = (addr - block.base) / pool.class_bytes;
+        let (wi, bit) = ((slot / 64) as usize, slot % 64);
+        assert_eq!(
+            block.bitmap[wi] & (1u64 << bit),
+            0,
+            "double free of {addr:#x} in class {}",
+            pool.class_bytes
+        );
+        block.bitmap[wi] |= 1u64 << bit;
+        block.free_slots += 1;
+        if block.free_slots == block.slots && pool.blocks.len() > 1 {
+            let released = pool.blocks.remove(bi);
+            FreeOutcome::BlockReleased {
+                block_base: released.base,
+            }
+        } else {
+            FreeOutcome::Cached
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, DpuSim};
+
+    fn dpu() -> DpuSim {
+        DpuSim::new(DpuConfig::default().with_tasklets(1))
+    }
+
+    fn cache() -> ThreadCache {
+        ThreadCache::new(&DEFAULT_SIZE_CLASSES)
+    }
+
+    #[test]
+    fn class_lookup_rounds_up() {
+        let c = cache();
+        assert_eq!(c.class_for(1), Some(0)); // 16 B
+        assert_eq!(c.class_for(16), Some(0));
+        assert_eq!(c.class_for(17), Some(1)); // 32 B
+        assert_eq!(c.class_for(2048), Some(7));
+        assert_eq!(c.class_for(2049), None); // bypass
+        assert_eq!(c.class_for(0), None);
+        assert_eq!(c.max_class_bytes(), 2048);
+    }
+
+    #[test]
+    fn alloc_exhausts_a_block_exactly() {
+        let mut d = dpu();
+        let mut c = cache();
+        let mut ctx = d.ctx(0);
+        c.add_block(&mut ctx, 0, 0x1000); // 16 B class: 256 slots
+        let mut addrs = Vec::new();
+        while let Some(a) = c.alloc(&mut ctx, 0) {
+            addrs.push(a);
+        }
+        assert_eq!(addrs.len(), 256);
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 256, "sub-blocks must be distinct");
+        assert!(addrs.iter().all(|a| (0x1000..0x2000).contains(a)));
+        assert!(addrs.iter().all(|a| (a - 0x1000) % 16 == 0));
+    }
+
+    #[test]
+    fn two_kb_class_splits_block_in_two() {
+        let mut d = dpu();
+        let mut c = cache();
+        let mut ctx = d.ctx(0);
+        c.add_block(&mut ctx, 7, 0x8000);
+        assert_eq!(c.alloc(&mut ctx, 7), Some(0x8000));
+        assert_eq!(c.alloc(&mut ctx, 7), Some(0x8800));
+        assert_eq!(c.alloc(&mut ctx, 7), None);
+    }
+
+    #[test]
+    fn free_makes_slot_reusable() {
+        let mut d = dpu();
+        let mut c = cache();
+        let mut ctx = d.ctx(0);
+        c.add_block(&mut ctx, 4, 0x1000); // 256 B: 16 slots
+        let a = c.alloc(&mut ctx, 4).unwrap();
+        let b = c.alloc(&mut ctx, 4).unwrap();
+        assert_eq!(c.free(&mut ctx, 4, a), FreeOutcome::Cached);
+        let again = c.alloc(&mut ctx, 4).unwrap();
+        assert_eq!(again, a, "freed slot is the first free bit again");
+        let _ = b;
+    }
+
+    #[test]
+    fn fully_free_block_released_only_if_not_last() {
+        let mut d = dpu();
+        let mut c = cache();
+        let mut ctx = d.ctx(0);
+        c.add_block(&mut ctx, 7, 0x8000);
+        let a = c.alloc(&mut ctx, 7).unwrap();
+        // Last block in pool: kept even when fully free.
+        assert_eq!(c.free(&mut ctx, 7, a), FreeOutcome::Cached);
+        assert_eq!(c.pools()[7].block_count(), 1);
+        // With a second block, a fully-free one is released.
+        c.add_block(&mut ctx, 7, 0x9000);
+        let b = c.alloc(&mut ctx, 7).unwrap();
+        assert_eq!(b, 0x9000, "MRU block serves first");
+        match c.free(&mut ctx, 7, b) {
+            FreeOutcome::BlockReleased { block_base } => assert_eq!(block_base, 0x9000),
+            other => panic!("expected release, got {other:?}"),
+        }
+        assert_eq!(c.pools()[7].block_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut d = dpu();
+        let mut c = cache();
+        let mut ctx = d.ctx(0);
+        c.add_block(&mut ctx, 0, 0x1000);
+        let a = c.alloc(&mut ctx, 0).unwrap();
+        c.free(&mut ctx, 0, a);
+        c.free(&mut ctx, 0, a);
+    }
+
+    #[test]
+    fn hit_cost_is_constant_ish_and_small() {
+        // O(1) claim: the 1000th alloc from a pool costs about the same
+        // as the 1st (no dependence on allocation history).
+        let mut d = dpu();
+        let mut c = cache();
+        let mut ctx = d.ctx(0);
+        c.add_block(&mut ctx, 1, 0x1000); // 32 B: 128 slots
+        let t0 = ctx.now();
+        c.alloc(&mut ctx, 1).unwrap();
+        let first = (ctx.now() - t0).0;
+        let mut last = 0;
+        for _ in 0..100 {
+            let t = ctx.now();
+            if c.alloc(&mut ctx, 1).is_none() {
+                c.add_block(&mut ctx, 1, 0x8000);
+            }
+            last = (ctx.now() - t).0;
+        }
+        assert!(last <= first * 3, "hit cost drifted: {first} -> {last}");
+    }
+
+    #[test]
+    fn bitmap_wram_budget_is_small() {
+        // §VI-E: thread-cache bitmap metadata is negligible. One block
+        // per class: 256+128+64+32+16+8+4+2 bits = 510 bits ≈ 64 B.
+        let c = cache();
+        assert!(c.bitmap_wram_bytes() <= 70, "{}", c.bitmap_wram_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_classes_rejected() {
+        ThreadCache::new(&[32, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn class_larger_than_half_block_rejected() {
+        ThreadCache::new(&[4096]);
+    }
+}

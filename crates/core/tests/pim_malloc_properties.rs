@@ -1,0 +1,173 @@
+//! Property-based tests of the full hierarchical PIM-malloc allocator:
+//! random multi-tasklet allocate/free traffic must never hand out
+//! overlapping memory, must route frees correctly, and must return the
+//! heap to a clean state when everything is freed.
+
+use std::collections::BTreeMap;
+
+use pim_malloc::{AllocError, PimAllocator, PimMalloc, PimMallocConfig};
+use pim_sim::{DpuConfig, DpuSim};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { tid: usize, size: u32 },
+    Free { tid: usize, victim: usize },
+}
+
+fn op_strategy(n_tasklets: usize, max_size: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..n_tasklets, 1u32..max_size).prop_map(|(tid, size)| Op::Alloc { tid, size }),
+        2 => (0..n_tasklets, any::<usize>()).prop_map(|(tid, victim)| Op::Free { tid, victim }),
+    ]
+}
+
+fn config(n_tasklets: usize, prepopulate: bool) -> PimMallocConfig {
+    let base = PimMallocConfig {
+        heap_size: 1 << 20,
+        ..PimMallocConfig::sw(n_tasklets)
+    };
+    if prepopulate {
+        base
+    } else {
+        base.lazy()
+    }
+}
+
+fn run(n_tasklets: usize, prepopulate: bool, hw: bool, ops: &[Op]) {
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(n_tasklets));
+    let mut cfg = config(n_tasklets, prepopulate);
+    if hw {
+        cfg.backend = pim_malloc::BackendKind::HwCache {
+            cache: pim_sim::BuddyCacheConfig::default(),
+        };
+    }
+    let mut pm = PimMalloc::init(&mut dpu, cfg).unwrap();
+    // Per-tasklet live allocations: addr -> occupied bytes (class size).
+    let mut live: Vec<Vec<u32>> = vec![Vec::new(); n_tasklets];
+    let mut spans: BTreeMap<u32, u32> = BTreeMap::new(); // addr -> occupied
+
+    for op in ops {
+        match op {
+            Op::Alloc { tid, size } => {
+                let mut ctx = dpu.ctx(*tid);
+                match pm.pim_malloc(&mut ctx, *size) {
+                    Ok(addr) => {
+                        let occupied = size.next_power_of_two().max(16);
+                        // No overlap with any live allocation.
+                        if let Some((&prev_addr, &prev_len)) =
+                            spans.range(..=addr).next_back()
+                        {
+                            assert!(
+                                prev_addr + prev_len <= addr || prev_addr == addr,
+                                "overlap: {prev_addr:#x}+{prev_len} vs {addr:#x}"
+                            );
+                            assert_ne!(prev_addr, addr, "address handed out twice");
+                        }
+                        if let Some((&next_addr, _)) = spans.range(addr + 1..).next() {
+                            assert!(addr + occupied <= next_addr, "overlap with next span");
+                        }
+                        spans.insert(addr, occupied);
+                        live[*tid].push(addr);
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => {}
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            Op::Free { tid, victim } => {
+                if live[*tid].is_empty() {
+                    continue;
+                }
+                let idx = victim % live[*tid].len();
+                let addr = live[*tid].swap_remove(idx);
+                let mut ctx = dpu.ctx(*tid);
+                pm.pim_free(&mut ctx, addr).expect("live allocation frees");
+                spans.remove(&addr);
+            }
+        }
+    }
+
+    // Drain and verify the end state.
+    for (tid, slots) in live.iter_mut().enumerate() {
+        for addr in std::mem::take(slots) {
+            let mut ctx = dpu.ctx(tid);
+            pm.pim_free(&mut ctx, addr).unwrap();
+        }
+    }
+    assert_eq!(pm.live_allocations(), 0);
+    assert_eq!(pm.frag().requested_live(), 0);
+    pm.backend().check_invariants();
+    // Double frees are rejected.
+    if let Some((&addr, _)) = spans.iter().next() {
+        let mut ctx = dpu.ctx(0);
+        assert!(matches!(
+            pm.pim_free(&mut ctx, addr),
+            Err(AllocError::InvalidFree { .. })
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sw_single_tasklet(ops in proptest::collection::vec(op_strategy(1, 4096), 1..100)) {
+        run(1, true, false, &ops);
+    }
+
+    #[test]
+    fn sw_sixteen_tasklets(ops in proptest::collection::vec(op_strategy(16, 8192), 1..150)) {
+        run(16, true, false, &ops);
+    }
+
+    #[test]
+    fn sw_lazy_init(ops in proptest::collection::vec(op_strategy(4, 4096), 1..100)) {
+        run(4, false, false, &ops);
+    }
+
+    #[test]
+    fn hwsw_sixteen_tasklets(ops in proptest::collection::vec(op_strategy(16, 8192), 1..120)) {
+        run(16, true, true, &ops);
+    }
+
+    /// The HW/SW and SW variants are *functionally* identical: same
+    /// request sequence → same success/failure pattern (timing differs,
+    /// placement may differ, but feasibility must match).
+    #[test]
+    fn hw_and_sw_agree_on_feasibility(
+        ops in proptest::collection::vec(op_strategy(4, 8192), 1..100)
+    ) {
+        let outcomes = |hw: bool| -> Vec<bool> {
+            let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(4));
+            let mut cfg = config(4, true);
+            if hw {
+                cfg.backend = pim_malloc::BackendKind::HwCache {
+                    cache: pim_sim::BuddyCacheConfig::default(),
+                };
+            }
+            let mut pm = PimMalloc::init(&mut dpu, cfg).unwrap();
+            let mut live: Vec<Vec<u32>> = vec![Vec::new(); 4];
+            let mut out = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Alloc { tid, size } => {
+                        let mut ctx = dpu.ctx(*tid);
+                        match pm.pim_malloc(&mut ctx, *size) {
+                            Ok(a) => { live[*tid].push(a); out.push(true) }
+                            Err(_) => out.push(false),
+                        }
+                    }
+                    Op::Free { tid, victim } => {
+                        if live[*tid].is_empty() { continue; }
+                        let idx = victim % live[*tid].len();
+                        let addr = live[*tid].swap_remove(idx);
+                        let mut ctx = dpu.ctx(*tid);
+                        pm.pim_free(&mut ctx, addr).unwrap();
+                    }
+                }
+            }
+            out
+        };
+        prop_assert_eq!(outcomes(false), outcomes(true));
+    }
+}

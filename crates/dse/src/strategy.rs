@@ -1,0 +1,84 @@
+//! The four design strategies of Table I.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the PIM-allocator design space (Table I of the paper):
+/// metadata placement × executing processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Metadata in host DRAM, buddy algorithm on host CPU cores.
+    HostMetaHostExec,
+    /// Metadata in host DRAM, buddy algorithm on the PIM cores —
+    /// metadata must be pushed host→PIM before each launch.
+    HostMetaPimExec,
+    /// Metadata in PIM banks, buddy algorithm on host CPU cores —
+    /// metadata must be pulled PIM→host before each round.
+    PimMetaHostExec,
+    /// Metadata in PIM banks, buddy algorithm on the PIM cores — the
+    /// paper's chosen design point (no metadata movement at all).
+    PimMetaPimExec,
+}
+
+impl Strategy {
+    /// All four strategies, in Table I order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::HostMetaHostExec,
+        Strategy::HostMetaPimExec,
+        Strategy::PimMetaHostExec,
+        Strategy::PimMetaPimExec,
+    ];
+
+    /// True if the buddy algorithm runs on the host CPU.
+    pub fn host_executed(self) -> bool {
+        matches!(
+            self,
+            Strategy::HostMetaHostExec | Strategy::PimMetaHostExec
+        )
+    }
+
+    /// True if metadata and execution sit on different sides, forcing
+    /// a metadata transfer every round.
+    pub fn moves_metadata(self) -> bool {
+        matches!(self, Strategy::HostMetaPimExec | Strategy::PimMetaHostExec)
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Strategy::HostMetaHostExec => "Host-Metadata/Host-Executed",
+            Strategy::HostMetaPimExec => "Host-Metadata/PIM-Executed",
+            Strategy::PimMetaHostExec => "PIM-Metadata/Host-Executed",
+            Strategy::PimMetaPimExec => "PIM-Metadata/PIM-Executed",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_table_one() {
+        assert!(Strategy::HostMetaHostExec.host_executed());
+        assert!(!Strategy::HostMetaHostExec.moves_metadata());
+        assert!(!Strategy::HostMetaPimExec.host_executed());
+        assert!(Strategy::HostMetaPimExec.moves_metadata());
+        assert!(Strategy::PimMetaHostExec.host_executed());
+        assert!(Strategy::PimMetaHostExec.moves_metadata());
+        assert!(!Strategy::PimMetaPimExec.host_executed());
+        assert!(!Strategy::PimMetaPimExec.moves_metadata());
+    }
+
+    #[test]
+    fn display_names_are_paper_labels() {
+        assert_eq!(
+            Strategy::PimMetaPimExec.to_string(),
+            "PIM-Metadata/PIM-Executed"
+        );
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests of the design-space model: scaling laws that must
+//! hold for any configuration, not just the paper's.
+
+use pim_dse::{run_strategy, DseConfig, Strategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Host-executed and metadata-moving strategies are monotone in the
+    /// DPU count; PIM-local execution is exactly flat.
+    #[test]
+    fn latency_monotone_in_dpu_count(a in 1usize..256, b in 1usize..256) {
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assume!(small < large);
+        for strategy in [
+            Strategy::HostMetaHostExec,
+            Strategy::HostMetaPimExec,
+            Strategy::PimMetaHostExec,
+        ] {
+            let s = run_strategy(strategy, &DseConfig::default().with_dpus(small));
+            let l = run_strategy(strategy, &DseConfig::default().with_dpus(large));
+            prop_assert!(
+                l.total_secs >= s.total_secs,
+                "{strategy}: {} DPUs {} vs {} DPUs {}",
+                small, s.total_secs, large, l.total_secs
+            );
+        }
+        let s = run_strategy(Strategy::PimMetaPimExec, &DseConfig::default().with_dpus(small));
+        let l = run_strategy(Strategy::PimMetaPimExec, &DseConfig::default().with_dpus(large));
+        prop_assert!((s.total_secs - l.total_secs).abs() < 1e-12);
+    }
+
+    /// Latency grows (weakly) with the number of allocations per DPU,
+    /// and the transfer/compute split always sums to the total.
+    #[test]
+    fn latency_monotone_in_allocation_count(
+        n_dpus in 1usize..128,
+        rounds in 1usize..64,
+    ) {
+        for strategy in Strategy::ALL {
+            let mut cfg = DseConfig::default().with_dpus(n_dpus);
+            cfg.allocs_per_dpu = rounds;
+            let r1 = run_strategy(strategy, &cfg);
+            cfg.allocs_per_dpu = rounds * 2;
+            let r2 = run_strategy(strategy, &cfg);
+            prop_assert!(r2.total_secs >= r1.total_secs, "{strategy}");
+            prop_assert!((r1.total_secs - r1.transfer_secs - r1.compute_secs).abs() < 1e-12);
+            prop_assert!(r1.transfer_fraction() >= 0.0 && r1.transfer_fraction() <= 1.0);
+        }
+    }
+
+    /// Metadata-moving strategies always cost at least as much as the
+    /// corresponding no-movement strategy with the same executor.
+    #[test]
+    fn metadata_movement_never_helps(n_dpus in 1usize..512) {
+        let cfg = DseConfig::default().with_dpus(n_dpus);
+        let pim_local = run_strategy(Strategy::PimMetaPimExec, &cfg);
+        let pim_moving = run_strategy(Strategy::HostMetaPimExec, &cfg);
+        prop_assert!(pim_moving.total_secs >= pim_local.total_secs);
+        let host_local = run_strategy(Strategy::HostMetaHostExec, &cfg);
+        let host_moving = run_strategy(Strategy::PimMetaHostExec, &cfg);
+        prop_assert!(host_moving.total_secs >= host_local.total_secs);
+    }
+}

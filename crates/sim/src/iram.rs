@@ -1,0 +1,141 @@
+//! Instruction-memory (IRAM) budget model.
+//!
+//! UPMEM DPUs hold program text in a 24 KB IRAM (§II-A). The paper's
+//! §IV-A argues this is why a TCMalloc-class allocator (~60 k C++
+//! lines, four allocator layers) cannot be ported to PIM while
+//! PIM-malloc (~1 k lines) fits comfortably. This module makes that
+//! feasibility argument checkable: estimate a component's text size
+//! from its source-line count and verify the budget.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes of DPU machine code generated per source line — a coarse
+/// compiler constant (UPMEM's LLVM backend emits 48-bit instructions;
+/// several instructions per C line on average).
+pub const BYTES_PER_SOURCE_LINE: u32 = 18;
+
+/// Error returned when a program image exceeds IRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IramOverflow {
+    /// Name of the component that did not fit.
+    pub component: String,
+    /// Estimated text bytes of the whole image.
+    pub image_bytes: u32,
+    /// IRAM capacity in bytes.
+    pub capacity: u32,
+}
+
+impl fmt::Display for IramOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IRAM overflow adding `{}`: image {} B exceeds {} B",
+            self.component, self.image_bytes, self.capacity
+        )
+    }
+}
+
+impl Error for IramOverflow {}
+
+/// A 24 KB instruction-memory ledger: add program components by
+/// estimated source-line count and catch images that cannot load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Iram {
+    capacity: u32,
+    used: u32,
+    components: Vec<(String, u32)>,
+}
+
+impl Iram {
+    /// Creates a ledger with `capacity` bytes (24 KB on UPMEM).
+    pub fn new(capacity: u32) -> Self {
+        Iram {
+            capacity,
+            used: 0,
+            components: Vec::new(),
+        }
+    }
+
+    /// Estimated text bytes for `source_lines` lines of DPU C code.
+    pub fn text_bytes_for_lines(source_lines: u32) -> u32 {
+        source_lines * BYTES_PER_SOURCE_LINE
+    }
+
+    /// Adds a component of `source_lines` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IramOverflow`] if the image would exceed capacity; the
+    /// ledger is unchanged in that case.
+    pub fn add_component(&mut self, name: &str, source_lines: u32) -> Result<(), IramOverflow> {
+        let bytes = Self::text_bytes_for_lines(source_lines);
+        if self.used + bytes > self.capacity {
+            return Err(IramOverflow {
+                component: name.to_owned(),
+                image_bytes: self.used + bytes,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.components.push((name.to_owned(), bytes));
+        Ok(())
+    }
+
+    /// Bytes used by the image so far.
+    pub fn used_bytes(&self) -> u32 {
+        self.used
+    }
+
+    /// Remaining capacity in bytes.
+    pub fn available_bytes(&self) -> u32 {
+        self.capacity - self.used
+    }
+}
+
+impl Default for Iram {
+    /// UPMEM's 24 KB IRAM.
+    fn default() -> Self {
+        Iram::new(24 << 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_malloc_fits_next_to_a_kernel() {
+        // §IV-A: PIM-malloc is ~1,000 lines — it must fit IRAM along
+        // with a realistically sized application kernel.
+        let mut iram = Iram::default();
+        iram.add_component("application kernel", 250).unwrap();
+        iram.add_component("PIM-malloc", 1000).unwrap();
+        assert!(iram.available_bytes() > 0);
+    }
+
+    #[test]
+    fn tcmalloc_cannot_load() {
+        // §IV-A: TCMalloc is ~60,000 lines; even 5% of it overflows the
+        // 24 KB IRAM.
+        let mut iram = Iram::default();
+        let err = iram.add_component("TCMalloc", 60_000).unwrap_err();
+        assert!(err.image_bytes > iram.capacity);
+        assert_eq!(iram.used_bytes(), 0, "failed add must not consume");
+        assert!(err.to_string().contains("TCMalloc"));
+        // Even a heavily stripped port does not fit.
+        assert!(iram.add_component("TCMalloc (5%)", 3_000).is_err());
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut iram = Iram::new(1000);
+        iram.add_component("a", 10).unwrap(); // 180 B
+        iram.add_component("b", 20).unwrap(); // 360 B
+        assert_eq!(iram.used_bytes(), 540);
+        assert_eq!(iram.available_bytes(), 460);
+        assert!(iram.add_component("c", 30).is_err());
+    }
+}

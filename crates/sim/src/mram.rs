@@ -1,0 +1,265 @@
+//! Sparse byte-addressable model of a DPU's local DRAM bank (MRAM).
+//!
+//! UPMEM pairs every DPU with a 64 MB DRAM bank. Allocator experiments
+//! only need latency accounting, but workload experiments (dynamic graph
+//! update, KV-cache append) also store real data through the allocator,
+//! so [`Mram`] backs the address space with 64 KB pages materialized on
+//! first write. Reading unwritten memory returns zeroes, like DRAM after
+//! initialization.
+
+use std::collections::HashMap;
+
+/// Size of one lazily-allocated backing page.
+const PAGE_SHIFT: u32 = 16;
+/// Page size in bytes (64 KB).
+const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+
+/// A sparse model of one 64 MB MRAM bank.
+///
+/// Addresses are `u32` offsets from the start of the bank. Accesses must
+/// stay within `size_bytes`; crossing the end of the bank panics, since
+/// on real hardware that is a fault the allocator must never produce.
+///
+/// ```
+/// use pim_sim::Mram;
+/// let mut m = Mram::new(64 << 20);
+/// m.write_u32(0x100, 0xdead_beef);
+/// assert_eq!(m.read_u32(0x100), 0xdead_beef);
+/// assert_eq!(m.read_u32(0x2000), 0); // untouched memory reads as zero
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mram {
+    size_bytes: u32,
+    pages: HashMap<u32, Box<[u8]>>,
+}
+
+impl Mram {
+    /// Creates a bank of `size_bytes` bytes (64 MB on UPMEM hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(size_bytes: u32) -> Self {
+        assert!(size_bytes > 0, "MRAM size must be non-zero");
+        Mram {
+            size_bytes,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Total capacity of the bank in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Number of 64 KB pages currently materialized.
+    ///
+    /// Useful in tests to confirm the store stays sparse.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check_range(&self, addr: u32, len: usize) {
+        let end = addr as u64 + len as u64;
+        assert!(
+            end <= u64::from(self.size_bytes),
+            "MRAM access out of bounds: addr={addr:#x} len={len} size={:#x}",
+            self.size_bytes
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the bank.
+    pub fn read(&self, addr: u32, buf: &mut [u8]) {
+        self.check_range(addr, buf.len());
+        let mut copied = 0usize;
+        while copied < buf.len() {
+            let cur = addr + copied as u32;
+            let page = cur >> PAGE_SHIFT;
+            let off = (cur & (PAGE_SIZE - 1)) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - copied);
+            match self.pages.get(&page) {
+                Some(p) => buf[copied..copied + chunk].copy_from_slice(&p[off..off + chunk]),
+                None => buf[copied..copied + chunk].fill(0),
+            }
+            copied += chunk;
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the bank.
+    pub fn write(&mut self, addr: u32, data: &[u8]) {
+        self.check_range(addr, data.len());
+        let mut copied = 0usize;
+        while copied < data.len() {
+            let cur = addr + copied as u32;
+            let page = cur >> PAGE_SHIFT;
+            let off = (cur & (PAGE_SIZE - 1)) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(data.len() - copied);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            p[off..off + chunk].copy_from_slice(&data[copied..copied + chunk]);
+            copied += chunk;
+        }
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Zeroes a byte range without materializing pages for it.
+    pub fn clear(&mut self, addr: u32, len: u32) {
+        self.check_range(addr, len as usize);
+        // Drop whole pages where possible, zero partial edges.
+        let mut cur = addr;
+        let end = addr + len;
+        while cur < end {
+            let page = cur >> PAGE_SHIFT;
+            let page_start = page << PAGE_SHIFT;
+            let page_end = page_start + PAGE_SIZE;
+            if cur == page_start && end >= page_end {
+                self.pages.remove(&page);
+                cur = page_end;
+            } else {
+                let stop = end.min(page_end);
+                if let Some(p) = self.pages.get_mut(&page) {
+                    let a = (cur - page_start) as usize;
+                    let b = (stop - page_start) as usize;
+                    p[a..b].fill(0);
+                }
+                cur = stop;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = Mram::new(1 << 20);
+        let mut buf = [0xffu8; 16];
+        m.read(0x1234, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_within_one_page() {
+        let mut m = Mram::new(1 << 20);
+        m.write(100, b"hello pim");
+        let mut buf = [0u8; 9];
+        m.read(100, &mut buf);
+        assert_eq!(&buf, b"hello pim");
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn roundtrip_across_page_boundary() {
+        let mut m = Mram::new(1 << 20);
+        let addr = PAGE_SIZE - 4;
+        let data: Vec<u8> = (0..16).collect();
+        m.write(addr, &data);
+        let mut buf = [0u8; 16];
+        m.read(addr, &mut buf);
+        assert_eq!(buf.as_slice(), data.as_slice());
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn integer_accessors_roundtrip() {
+        let mut m = Mram::new(1 << 20);
+        m.write_u32(8, 0x0102_0304);
+        m.write_u64(16, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u32(8), 0x0102_0304);
+        assert_eq!(m.read_u64(16), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let m = Mram::new(1 << 20);
+        let mut buf = [0u8; 8];
+        m.read((1 << 20) - 4, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        let mut m = Mram::new(64);
+        m.write(60, &[0u8; 8]);
+    }
+
+    #[test]
+    fn clear_releases_whole_pages_and_zeroes_edges() {
+        let mut m = Mram::new(4 * PAGE_SIZE);
+        for p in 0..4u32 {
+            m.write(p * PAGE_SIZE, &[0xaa; 32]);
+        }
+        assert_eq!(m.resident_pages(), 4);
+        // Clear from mid-page 0 to mid-page 2: page 1 dropped entirely.
+        m.clear(PAGE_SIZE / 2, 2 * PAGE_SIZE);
+        assert!(m.resident_pages() <= 3);
+        let mut buf = [0u8; 32];
+        m.read(PAGE_SIZE, &mut buf);
+        assert_eq!(buf, [0u8; 32]);
+        // Page 3 untouched.
+        m.read(3 * PAGE_SIZE, &mut buf);
+        assert_eq!(buf, [0xaa; 32]);
+    }
+
+    proptest! {
+        /// Any sequence of writes followed by reads behaves like a flat
+        /// byte array: the last write to an address wins.
+        #[test]
+        fn behaves_like_flat_array(
+            ops in proptest::collection::vec(
+                (0u32..(1 << 18) - 64, proptest::collection::vec(any::<u8>(), 1..64)),
+                1..40,
+            )
+        ) {
+            let mut m = Mram::new(1 << 18);
+            let mut shadow = vec![0u8; 1 << 18];
+            for (addr, data) in &ops {
+                m.write(*addr, data);
+                shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+            }
+            for (addr, data) in &ops {
+                let mut buf = vec![0u8; data.len()];
+                m.read(*addr, &mut buf);
+                prop_assert_eq!(&buf, &shadow[*addr as usize..*addr as usize + data.len()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A multi-DPU PIM system: N independent DPU banks plus a host.
+//!
+//! Bank-level PIM has no inter-DPU communication — each DPU owns its
+//! bank and its own address space — so a [`PimSystem`] is simply a
+//! collection of [`DpuSim`]s that run the same program on partitioned
+//! data, plus a [`HostSim`] for orchestration and transfers. The
+//! system-level finish time of a PIM kernel is the **max** over DPUs,
+//! which is how all multi-DPU results in the paper are aggregated.
+
+use crate::cost::Cycles;
+use crate::dpu::{DpuConfig, DpuSim};
+use crate::host::HostSim;
+use crate::stats::{DramTraffic, TaskletStats};
+
+/// A host plus `n` identical DPUs.
+#[derive(Debug)]
+pub struct PimSystem {
+    dpus: Vec<DpuSim>,
+    host: HostSim,
+}
+
+impl PimSystem {
+    /// Creates a system of `n_dpus` DPUs with identical configuration
+    /// and a default host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dpus` is zero.
+    pub fn new(n_dpus: usize, config: DpuConfig) -> Self {
+        assert!(n_dpus > 0, "a PIM system needs at least one DPU");
+        PimSystem {
+            dpus: (0..n_dpus).map(|_| DpuSim::new(config.clone())).collect(),
+            host: HostSim::default(),
+        }
+    }
+
+    /// Number of DPUs in the system.
+    pub fn n_dpus(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// Access one DPU.
+    pub fn dpu(&self, idx: usize) -> &DpuSim {
+        &self.dpus[idx]
+    }
+
+    /// Mutable access to one DPU.
+    pub fn dpu_mut(&mut self, idx: usize) -> &mut DpuSim {
+        &mut self.dpus[idx]
+    }
+
+    /// Iterates over the DPUs.
+    pub fn dpus(&self) -> impl Iterator<Item = &DpuSim> {
+        self.dpus.iter()
+    }
+
+    /// The host model.
+    pub fn host(&self) -> &HostSim {
+        &self.host
+    }
+
+    /// Mutable access to the host model.
+    pub fn host_mut(&mut self) -> &mut HostSim {
+        &mut self.host
+    }
+
+    /// Runs `f` once per DPU (the SPMD launch pattern). DPUs execute
+    /// the same program on their private state; time advances
+    /// independently per DPU.
+    pub fn run_per_dpu(&mut self, mut f: impl FnMut(usize, &mut DpuSim)) {
+        for (idx, dpu) in self.dpus.iter_mut().enumerate() {
+            f(idx, dpu);
+        }
+    }
+
+    /// System finish time of the PIM kernel: the slowest DPU's clock.
+    pub fn kernel_finish(&self) -> Cycles {
+        self.dpus
+            .iter()
+            .map(|d| d.max_clock())
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Sum of all tasklet stats across all DPUs.
+    pub fn total_stats(&self) -> TaskletStats {
+        self.dpus
+            .iter()
+            .fold(TaskletStats::default(), |acc, d| acc.merged(&d.total_stats()))
+    }
+
+    /// Aggregate MRAM↔WRAM traffic across all DPUs.
+    pub fn total_traffic(&self) -> DramTraffic {
+        self.dpus.iter().fold(DramTraffic::default(), |acc, d| {
+            let t = d.traffic();
+            DramTraffic {
+                bytes_read: acc.bytes_read + t.bytes_read,
+                bytes_written: acc.bytes_written + t.bytes_written,
+                transfers: acc.transfers + t.transfers,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_dpu_execution_is_independent() {
+        let mut sys = PimSystem::new(4, DpuConfig::default().with_tasklets(1));
+        sys.run_per_dpu(|idx, dpu| {
+            dpu.ctx(0).instrs(10 * (idx as u64 + 1));
+        });
+        assert_eq!(sys.dpu(0).max_clock(), Cycles(110));
+        assert_eq!(sys.dpu(3).max_clock(), Cycles(440));
+        assert_eq!(sys.kernel_finish(), Cycles(440));
+    }
+
+    #[test]
+    fn totals_aggregate_over_dpus() {
+        let mut sys = PimSystem::new(2, DpuConfig::default().with_tasklets(1));
+        sys.run_per_dpu(|_, dpu| {
+            let mut c = dpu.ctx(0);
+            c.instrs(5);
+            c.mram_read(0, 64);
+        });
+        assert_eq!(sys.total_stats().instrs, 10);
+        assert_eq!(sys.total_traffic().bytes_read, 128);
+        assert_eq!(sys.total_traffic().transfers, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DPU")]
+    fn zero_dpus_rejected() {
+        PimSystem::new(0, DpuConfig::default());
+    }
+
+    #[test]
+    fn host_is_reachable() {
+        let mut sys = PimSystem::new(1, DpuConfig::default());
+        sys.host_mut()
+            .transfer(crate::host::TransferDirection::HostToPim, 1, 1024);
+        assert_eq!(sys.host().bytes_moved(), 1024);
+    }
+}

@@ -1,0 +1,168 @@
+//! Scratchpad (WRAM) capacity budgeting.
+//!
+//! UPMEM DPUs have 64 KB of WRAM shared by all tasklets. WRAM loads and
+//! stores are ordinary pipeline instructions (no extra latency), so the
+//! simulator does not model WRAM *timing* separately — what matters for
+//! allocator design is the *capacity budget*: the software-managed
+//! metadata buffer, the per-tasklet thread-cache bitmaps, and tasklet
+//! stacks must all fit. [`Wram`] is a named-region bump allocator that
+//! makes running out of scratchpad an explicit, testable error.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a WRAM reservation exceeds the remaining budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WramOverflow {
+    /// Name of the region that failed to fit.
+    pub region: String,
+    /// Bytes requested by the failing reservation.
+    pub requested: u32,
+    /// Bytes still available when the reservation was attempted.
+    pub available: u32,
+}
+
+impl fmt::Display for WramOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WRAM overflow: region `{}` needs {} B but only {} B remain",
+            self.region, self.requested, self.available
+        )
+    }
+}
+
+impl Error for WramOverflow {}
+
+/// A 64 KB scratchpad capacity ledger.
+///
+/// ```
+/// use pim_sim::Wram;
+/// let mut w = Wram::new(64 * 1024);
+/// let buf = w.reserve("metadata buffer", 2048)?;
+/// assert_eq!(w.used_bytes(), 2048);
+/// assert_eq!(buf, 0); // first reservation starts at offset 0
+/// # Ok::<(), pim_sim::wram::WramOverflow>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wram {
+    size_bytes: u32,
+    used_bytes: u32,
+    regions: BTreeMap<String, (u32, u32)>, // name -> (offset, len)
+}
+
+impl Wram {
+    /// Creates a scratchpad with `size_bytes` capacity (64 KB on UPMEM).
+    pub fn new(size_bytes: u32) -> Self {
+        Wram {
+            size_bytes,
+            used_bytes: 0,
+            regions: BTreeMap::new(),
+        }
+    }
+
+    /// Total scratchpad capacity in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Bytes consumed by reservations so far.
+    pub fn used_bytes(&self) -> u32 {
+        self.used_bytes
+    }
+
+    /// Bytes still available.
+    pub fn available_bytes(&self) -> u32 {
+        self.size_bytes - self.used_bytes
+    }
+
+    /// Reserves `bytes` under `name`, returning the region's offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WramOverflow`] if the reservation does not fit; the
+    /// ledger is left unchanged in that case.
+    pub fn reserve(&mut self, name: &str, bytes: u32) -> Result<u32, WramOverflow> {
+        if bytes > self.available_bytes() {
+            return Err(WramOverflow {
+                region: name.to_owned(),
+                requested: bytes,
+                available: self.available_bytes(),
+            });
+        }
+        let offset = self.used_bytes;
+        self.used_bytes += bytes;
+        self.regions.insert(name.to_owned(), (offset, bytes));
+        Ok(offset)
+    }
+
+    /// Returns the `(offset, len)` of a named region, if reserved.
+    pub fn region(&self, name: &str) -> Option<(u32, u32)> {
+        self.regions.get(name).copied()
+    }
+
+    /// Iterates over `(name, offset, len)` of all reservations.
+    pub fn regions(&self) -> impl Iterator<Item = (&str, u32, u32)> {
+        self.regions.iter().map(|(n, &(o, l))| (n.as_str(), o, l))
+    }
+}
+
+impl Default for Wram {
+    /// A 64 KB scratchpad, the UPMEM WRAM size.
+    fn default() -> Self {
+        Wram::new(64 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_bump_sequentially() {
+        let mut w = Wram::new(1024);
+        assert_eq!(w.reserve("a", 100).unwrap(), 0);
+        assert_eq!(w.reserve("b", 200).unwrap(), 100);
+        assert_eq!(w.used_bytes(), 300);
+        assert_eq!(w.available_bytes(), 724);
+        assert_eq!(w.region("a"), Some((0, 100)));
+        assert_eq!(w.region("b"), Some((100, 200)));
+        assert_eq!(w.region("c"), None);
+    }
+
+    #[test]
+    fn overflow_is_reported_and_leaves_state_unchanged() {
+        let mut w = Wram::new(128);
+        w.reserve("a", 100).unwrap();
+        let err = w.reserve("big", 64).unwrap_err();
+        assert_eq!(err.requested, 64);
+        assert_eq!(err.available, 28);
+        assert_eq!(err.region, "big");
+        assert_eq!(w.used_bytes(), 100, "failed reserve must not consume");
+        let msg = err.to_string();
+        assert!(msg.contains("big") && msg.contains("64"), "message: {msg}");
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut w = Wram::new(64);
+        w.reserve("all", 64).unwrap();
+        assert_eq!(w.available_bytes(), 0);
+        assert!(w.reserve("one more byte", 1).is_err());
+    }
+
+    #[test]
+    fn default_is_upmem_sized() {
+        assert_eq!(Wram::default().size_bytes(), 65536);
+    }
+
+    #[test]
+    fn regions_iterates_all() {
+        let mut w = Wram::new(1024);
+        w.reserve("x", 8).unwrap();
+        w.reserve("y", 8).unwrap();
+        let names: Vec<&str> = w.regions().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

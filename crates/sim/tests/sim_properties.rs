@@ -1,0 +1,101 @@
+//! Property tests of the simulator substrate: conservation laws the
+//! cost model must satisfy under arbitrary operation sequences.
+
+use pim_sim::{Cycles, DpuConfig, DpuSim, TransferModel};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Instrs(u64),
+    Read(u32),
+    Write(u32),
+    Lock,
+    Unlock,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..200).prop_map(Op::Instrs),
+        (1u32..4096).prop_map(Op::Read),
+        (1u32..4096).prop_map(Op::Write),
+        Just(Op::Lock),
+        Just(Op::Unlock),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clocks never move backwards, accounted time never exceeds the
+    /// clock, and traffic counters match the bytes requested.
+    #[test]
+    fn time_and_traffic_conservation(
+        tasklets in 1usize..16,
+        ops in proptest::collection::vec((0usize..16, op_strategy()), 1..200),
+    ) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
+        let m = dpu.alloc_mutex();
+        let mut held: Option<usize> = None;
+        let mut expect_read = 0u64;
+        let mut expect_written = 0u64;
+        let mut last_clock = vec![Cycles::ZERO; tasklets];
+        for (t, op) in ops {
+            let tid = t % tasklets;
+            match op {
+                Op::Instrs(n) => dpu.ctx(tid).instrs(n),
+                Op::Read(b) => {
+                    dpu.ctx(tid).mram_read(0, b);
+                    expect_read += u64::from(b);
+                }
+                Op::Write(b) => {
+                    dpu.ctx(tid).mram_write(0, b);
+                    expect_written += u64::from(b);
+                }
+                Op::Lock => {
+                    if held.is_none() {
+                        dpu.ctx(tid).mutex_lock(m);
+                        held = Some(tid);
+                    }
+                }
+                Op::Unlock => {
+                    if let Some(h) = held.take() {
+                        dpu.ctx(h).mutex_unlock(m);
+                    }
+                }
+            }
+            prop_assert!(dpu.clock(tid) >= last_clock[tid], "clock went backwards");
+            last_clock[tid] = dpu.clock(tid);
+            // Accounted time equals the clock exactly: every advance is
+            // classified into one of the four breakdown classes.
+            let s = dpu.tasklet_stats(tid);
+            prop_assert_eq!(s.total(), dpu.clock(tid), "unaccounted cycles");
+        }
+        let traffic = dpu.traffic();
+        prop_assert_eq!(traffic.bytes_read, expect_read);
+        prop_assert_eq!(traffic.bytes_written, expect_written);
+    }
+
+    /// Host↔PIM transfer time is monotone in both DPU count and bytes.
+    #[test]
+    fn transfer_model_monotone(
+        d1 in 1usize..1024, d2 in 1usize..1024,
+        b1 in 1u64..(1 << 24), b2 in 1u64..(1 << 24),
+    ) {
+        let t = TransferModel::default();
+        let (dl, dh) = (d1.min(d2), d1.max(d2));
+        let (bl, bh) = (b1.min(b2), b1.max(b2));
+        prop_assert!(t.transfer_secs(dh, bl) >= t.transfer_secs(dl, bl));
+        prop_assert!(t.transfer_secs(dl, bh) >= t.transfer_secs(dl, bl));
+    }
+
+    /// Instruction retirement obeys the pipeline model exactly:
+    /// `clock = instrs × max(11, tasklets)` for a lone busy tasklet.
+    #[test]
+    fn pipeline_arithmetic(tasklets in 1usize..24, n in 1u64..10_000) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
+        dpu.ctx(0).instrs(n);
+        let interval = 11u64.max(tasklets as u64);
+        prop_assert_eq!(dpu.clock(0), Cycles(n * interval));
+        prop_assert_eq!(dpu.tasklet_stats(0).instrs, n);
+    }
+}

@@ -1,0 +1,225 @@
+//! The multi-tasklet request driver.
+//!
+//! Workloads describe each tasklet's behaviour as a stream of
+//! [`Request`]s; the driver interleaves the streams in **virtual-time
+//! order** (always advancing the tasklet with the smallest logical
+//! clock), so mutex hand-offs and DMA queueing between tasklets are
+//! causally consistent. Per-request allocation latencies are recorded
+//! in completion order, which is what the paper's latency-over-time
+//! plots (Figures 8(a) and 17(c)) show.
+
+use pim_malloc::{AllocError, PimAllocator};
+use pim_sim::{Cycles, DpuSim, LatencyRecorder};
+
+/// One allocator request in a tasklet's stream.
+///
+/// `slot` names an allocation within the tasklet's private slot table
+/// so later requests can free it without knowing addresses up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Allocate `size` bytes and remember the address in `slot`.
+    Malloc {
+        /// Request size in bytes.
+        size: u32,
+        /// Slot index to store the returned address in.
+        slot: usize,
+    },
+    /// Free the address remembered in `slot` (no-op if empty).
+    Free {
+        /// Slot index to free.
+        slot: usize,
+    },
+}
+
+/// Outcome of a driver run.
+#[derive(Debug, Clone)]
+pub struct DriveResult {
+    /// Latency of every `Malloc` request, in completion order.
+    pub malloc_latencies: LatencyRecorder,
+    /// `(completion time, latency)` of every `Malloc`, in completion
+    /// order — the latency-over-time series of Figures 8(a)/17(c).
+    pub timeline: Vec<(Cycles, Cycles)>,
+    /// Per-tasklet total `pim_malloc` time (Figure 17(b)).
+    pub per_tasklet_malloc: Vec<Cycles>,
+    /// Number of `Malloc` requests that failed with out-of-memory.
+    pub oom_count: u64,
+    /// Virtual time when the last tasklet finished.
+    pub finish: Cycles,
+}
+
+/// Runs per-tasklet request streams against `alloc` on `dpu`.
+///
+/// Streams are indexed by tasklet id; `streams.len()` must not exceed
+/// the DPU's tasklet count. Out-of-memory failures are counted and the
+/// stream continues (matching how the paper's microbenchmarks keep
+/// requesting); other allocator errors panic, since the driver only
+/// frees slots it has filled.
+pub fn drive(
+    dpu: &mut DpuSim,
+    alloc: &mut dyn PimAllocator,
+    streams: &[Vec<Request>],
+) -> DriveResult {
+    assert!(
+        streams.len() <= dpu.config().n_tasklets,
+        "more streams ({}) than tasklets ({})",
+        streams.len(),
+        dpu.config().n_tasklets
+    );
+    let n = streams.len();
+    let mut next_op = vec![0usize; n];
+    let mut slots: Vec<Vec<Option<u32>>> = streams
+        .iter()
+        .map(|s| {
+            let max_slot = s
+                .iter()
+                .map(|r| match r {
+                    Request::Malloc { slot, .. } | Request::Free { slot } => *slot + 1,
+                })
+                .max()
+                .unwrap_or(0);
+            vec![None; max_slot]
+        })
+        .collect();
+    let mut result = DriveResult {
+        malloc_latencies: LatencyRecorder::new(),
+        timeline: Vec::new(),
+        per_tasklet_malloc: vec![Cycles::ZERO; n],
+        oom_count: 0,
+        finish: Cycles::ZERO,
+    };
+
+    // Always advance the unfinished tasklet with the smallest clock.
+    while let Some(tid) = (0..n)
+        .filter(|&t| next_op[t] < streams[t].len())
+        .min_by_key(|&t| dpu.clock(t))
+    {
+        let req = streams[tid][next_op[tid]];
+        next_op[tid] += 1;
+        match req {
+            Request::Malloc { size, slot } => {
+                let mut ctx = dpu.ctx(tid);
+                let start = ctx.now();
+                match alloc.pim_malloc(&mut ctx, size) {
+                    Ok(addr) => {
+                        let end = ctx.now();
+                        let latency = end - start;
+                        result.malloc_latencies.record(latency);
+                        result.timeline.push((end, latency));
+                        result.per_tasklet_malloc[tid] += latency;
+                        if let Some(prev) = slots[tid][slot].replace(addr) {
+                            // Slot reuse frees the shadowed allocation
+                            // to keep the heap from leaking.
+                            let mut ctx = dpu.ctx(tid);
+                            alloc.pim_free(&mut ctx, prev).expect("shadowed slot frees");
+                        }
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => result.oom_count += 1,
+                    Err(e) => panic!("malloc failed: {e}"),
+                }
+            }
+            Request::Free { slot } => {
+                if let Some(addr) = slots[tid][slot].take() {
+                    let mut ctx = dpu.ctx(tid);
+                    alloc.pim_free(&mut ctx, addr).expect("driver frees live slots");
+                }
+            }
+        }
+    }
+    result.finish = dpu.max_clock();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use pim_sim::DpuConfig;
+
+    fn setup(kind: AllocatorKind, tasklets: usize) -> (DpuSim, Box<dyn PimAllocator>) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
+        let alloc = kind.build(&mut dpu, tasklets, 1 << 20);
+        (dpu, alloc)
+    }
+
+    #[test]
+    fn drives_alloc_free_pairs() {
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 2);
+        let stream = vec![
+            Request::Malloc { size: 64, slot: 0 },
+            Request::Free { slot: 0 },
+            Request::Malloc { size: 128, slot: 0 },
+            Request::Free { slot: 0 },
+        ];
+        let r = drive(&mut dpu, alloc.as_mut(), &[stream.clone(), stream]);
+        assert_eq!(r.malloc_latencies.len(), 4);
+        assert_eq!(r.oom_count, 0);
+        assert_eq!(r.timeline.len(), 4);
+        assert!(r.finish > Cycles::ZERO);
+        // Timeline is in completion order.
+        for w in r.timeline.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn free_of_empty_slot_is_noop() {
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
+        let r = drive(
+            &mut dpu,
+            alloc.as_mut(),
+            &[vec![Request::Free { slot: 0 }]],
+        );
+        assert_eq!(r.malloc_latencies.len(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_frees_previous_allocation() {
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
+        let stream: Vec<Request> = (0..100)
+            .map(|_| Request::Malloc { size: 4096, slot: 0 })
+            .collect();
+        let r = drive(&mut dpu, alloc.as_mut(), &[stream]);
+        // 100 allocations through one slot never exhaust a 1 MB heap.
+        assert_eq!(r.oom_count, 0);
+        assert_eq!(r.malloc_latencies.len(), 100);
+    }
+
+    #[test]
+    fn oom_is_counted_not_fatal() {
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
+        let stream: Vec<Request> = (0..40)
+            .map(|i| Request::Malloc { size: 64 << 10, slot: i })
+            .collect();
+        let r = drive(&mut dpu, alloc.as_mut(), &[stream]);
+        assert!(r.oom_count > 0, "1 MB heap cannot hold 40 × 64 KB");
+        assert!(r.malloc_latencies.len() < 40);
+    }
+
+    #[test]
+    fn contention_inflates_multi_tasklet_latency() {
+        // The same per-tasklet stream takes longer per request under
+        // 16-way contention on the straw-man's single mutex.
+        let stream: Vec<Request> = (0..16)
+            .map(|_| Request::Malloc { size: 32, slot: 0 })
+            .collect();
+        let (mut dpu1, mut a1) = setup(AllocatorKind::StrawMan, 1);
+        let r1 = drive(&mut dpu1, a1.as_mut(), std::slice::from_ref(&stream));
+        let (mut dpu16, mut a16) = setup(AllocatorKind::StrawMan, 16);
+        let streams: Vec<_> = (0..16).map(|_| stream.clone()).collect();
+        let r16 = drive(&mut dpu16, a16.as_mut(), &streams);
+        assert!(
+            r16.malloc_latencies.mean().0 > 2 * r1.malloc_latencies.mean().0,
+            "contended mean {} vs solo mean {}",
+            r16.malloc_latencies.mean(),
+            r1.malloc_latencies.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams")]
+    fn too_many_streams_rejected() {
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
+        let s = vec![vec![], vec![]];
+        drive(&mut dpu, alloc.as_mut(), &s);
+    }
+}

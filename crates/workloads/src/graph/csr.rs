@@ -1,0 +1,184 @@
+//! Static CSR graph representation with in-place edge insertion.
+//!
+//! The paper's static baseline (Figure 3(b), top): the graph lives in
+//! two MRAM-resident arrays, `NodePtr` and `EdgeIdx`. Inserting one
+//! edge `(u, v)` requires shifting the entire `EdgeIdx` tail after
+//! `u`'s segment and incrementing every `NodePtr` entry past `u` —
+//! O(graph size) of DMA traffic per insertion, which is why static
+//! update cost grows with the pre-update graph (Figure 3(c)).
+
+use pim_sim::TaskletCtx;
+
+/// Streaming DMA chunk used for the shifts.
+const CHUNK_BYTES: u32 = 2048;
+/// Instructions per chunk of the edge shift: the 4-byte shift is done
+/// by DMA-reading into the WRAM staging buffer at offset +4 and
+/// DMA-writing the realigned result, so only the two boundary words
+/// and the loop need instructions.
+const SHIFT_FIXUP_INSTRS: u64 = 12;
+/// Instructions per 4-byte `NodePtr` entry of the increment pass —
+/// a genuine read-modify-write (load, add, store) per entry.
+const INCREMENT_INSTRS_PER_ENTRY: u64 = 3;
+
+/// A CSR graph over `n` local nodes, with host-side shadow arrays and
+/// DMA-accurate insertion costs.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    node_ptr: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR arrays from `(local_node, dst)` pairs — the
+    /// bulk-build step that happens once, before timed updates.
+    pub fn build(n_nodes: u32, edge_list: &[(u32, u32)]) -> Self {
+        let n = n_nodes as usize;
+        let mut counts = vec![0u32; n + 1];
+        for &(u, _) in edge_list {
+            counts[u as usize + 1] += 1;
+        }
+        let mut node_ptr = vec![0u32; n + 1];
+        for i in 1..=n {
+            node_ptr[i] = node_ptr[i - 1] + counts[i];
+        }
+        let mut cursor = node_ptr.clone();
+        let mut edges = vec![0u32; edge_list.len()];
+        for &(u, v) in edge_list {
+            edges[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        CsrGraph { node_ptr, edges }
+    }
+
+    /// Number of edges currently stored.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbours of `node`, in storage order.
+    pub fn neighbours(&self, node: u32) -> &[u32] {
+        let a = self.node_ptr[node as usize] as usize;
+        let b = self.node_ptr[node as usize + 1] as usize;
+        &self.edges[a..b]
+    }
+
+    /// Charges the `EdgeIdx` tail shift: DMA-dominated streaming copy
+    /// with per-chunk boundary fix-up.
+    fn charge_shift(ctx: &mut TaskletCtx<'_>, bytes: u64) {
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(u64::from(CHUNK_BYTES)) as u32;
+            ctx.mram_read(0, chunk);
+            ctx.mram_write(0, chunk);
+            ctx.instrs(SHIFT_FIXUP_INSTRS);
+            remaining -= u64::from(chunk);
+        }
+    }
+
+    /// Charges the `NodePtr` increment pass: stream each chunk in,
+    /// increment every entry, stream it back.
+    fn charge_increment(ctx: &mut TaskletCtx<'_>, bytes: u64) {
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(u64::from(CHUNK_BYTES)) as u32;
+            ctx.mram_read(0, chunk);
+            ctx.instrs((u64::from(chunk) / 4) * INCREMENT_INSTRS_PER_ENTRY + 4);
+            ctx.mram_write(0, chunk);
+            remaining -= u64::from(chunk);
+        }
+    }
+
+    /// Inserts edge `(u, v)`, shifting `EdgeIdx` and updating
+    /// `NodePtr` with DMA-accurate costs.
+    ///
+    /// Callers serialize insertions with a DPU mutex — concurrent
+    /// whole-array shifts cannot overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn insert(&mut self, ctx: &mut TaskletCtx<'_>, u: u32, v: u32) {
+        let ui = u as usize;
+        assert!(ui + 1 < self.node_ptr.len(), "node {u} out of range");
+        let pos = self.node_ptr[ui + 1] as usize;
+        // Shift the EdgeIdx tail one slot right.
+        let tail_bytes = (self.edges.len() - pos) as u64 * 4;
+        Self::charge_shift(ctx, tail_bytes);
+        self.edges.insert(pos, v);
+        // Increment every NodePtr entry after u (read-modify-write).
+        let ptr_bytes = (self.node_ptr.len() - (ui + 1)) as u64 * 4;
+        Self::charge_increment(ctx, ptr_bytes);
+        for p in &mut self.node_ptr[ui + 1..] {
+            *p += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, DpuSim};
+
+    fn dpu() -> DpuSim {
+        DpuSim::new(DpuConfig::default().with_tasklets(1))
+    }
+
+    #[test]
+    fn build_matches_figure3_example() {
+        // Figure 3(b) pre-update CSR: edges 0→1,0→3, 1→3, 3→1,3→3(…)
+        let g = CsrGraph::build(5, &[(0, 1), (0, 3), (1, 3), (3, 1), (4, 3)]);
+        assert_eq!(g.neighbours(0), &[1, 3]);
+        assert_eq!(g.neighbours(1), &[3]);
+        assert_eq!(g.neighbours(2), &[] as &[u32]);
+        assert_eq!(g.neighbours(3), &[1]);
+        assert_eq!(g.neighbours(4), &[3]);
+    }
+
+    #[test]
+    fn insert_preserves_adjacency() {
+        let mut d = dpu();
+        let mut g = CsrGraph::build(4, &[(0, 1), (2, 3)]);
+        let mut ctx = d.ctx(0);
+        g.insert(&mut ctx, 0, 2); // the Figure 3(a) red edge
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(2), &[3]);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn insertion_cost_grows_with_graph_size() {
+        // Figure 3(c): same insertion, bigger pre-update graph, more
+        // cycles.
+        let mut costs = Vec::new();
+        for scale in [100usize, 1000, 10000] {
+            let edge_list: Vec<(u32, u32)> =
+                (0..scale).map(|i| ((i % 50) as u32, (i % 49) as u32)).collect();
+            let mut d = dpu();
+            let mut g = CsrGraph::build(50, &edge_list);
+            let mut ctx = d.ctx(0);
+            let t0 = ctx.now();
+            g.insert(&mut ctx, 0, 1);
+            costs.push((ctx.now() - t0).0);
+        }
+        assert!(costs[0] < costs[1] && costs[1] < costs[2], "{costs:?}");
+        assert!(
+            costs[2] > costs[0] * 10,
+            "two decades of size must dominate the fixed cost: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn inserting_at_last_node_is_cheapest() {
+        let edge_list: Vec<(u32, u32)> = (0..5000).map(|i| ((i % 100) as u32, 7)).collect();
+        let mut d = dpu();
+        let mut g = CsrGraph::build(100, &edge_list);
+        let mut ctx = d.ctx(0);
+        let t0 = ctx.now();
+        g.insert(&mut ctx, 0, 1);
+        let front = (ctx.now() - t0).0;
+        let t0 = ctx.now();
+        g.insert(&mut ctx, 99, 1);
+        let back = (ctx.now() - t0).0;
+        assert!(back < front, "tail insert shifts less: {back} vs {front}");
+    }
+}

@@ -1,0 +1,522 @@
+//! The multi-DPU dynamic graph update experiment (Figures 3(c), 11,
+//! and 17 of the paper).
+//!
+//! Edges are partitioned across DPUs by source node (`u % n_dpus`) and,
+//! within a DPU, across tasklets (`local_u % n_tasklets`), so all
+//! updates of one node stay on one tasklet — the standard UPMEM
+//! data-partitioning discipline. The pre-update graph is built first
+//! (untimed); the new edges are then inserted in a timed phase whose
+//! duration, cycle breakdown, allocation latencies and metadata
+//! traffic are reported.
+
+use pim_malloc::{MetadataStore, PimAllocator};
+use pim_sim::{Cycles, DpuConfig, DpuSim, TaskletStats};
+use serde::{Deserialize, Serialize};
+
+use super::csr::CsrGraph;
+use super::generator::{generate_power_law, split_for_update_count, UpdateWorkload};
+use super::linked::LinkedListGraph;
+use super::vararray::VarArrayGraph;
+use crate::AllocatorKind;
+
+/// Graph representation under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphRepr {
+    /// Static CSR arrays, shifted in place on every insert.
+    StaticCsr,
+    /// Array of linked lists of fixed 256 B chunks.
+    LinkedList,
+    /// Variable-sized (power-of-two) edge arrays.
+    VarArray,
+}
+
+impl GraphRepr {
+    /// Label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphRepr::StaticCsr => "Static (CSR)",
+            GraphRepr::LinkedList => "Dynamic (Array of linked list)",
+            GraphRepr::VarArray => "Dynamic (Variable sized array)",
+        }
+    }
+}
+
+/// Configuration of the graph update experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphUpdateConfig {
+    /// Representation under test.
+    pub repr: GraphRepr,
+    /// Allocator for the dynamic representations (ignored for CSR).
+    pub allocator: AllocatorKind,
+    /// Number of DPUs the graph is partitioned over.
+    pub n_dpus: usize,
+    /// Tasklets per DPU.
+    pub n_tasklets: usize,
+    /// Global node count.
+    pub n_nodes: u32,
+    /// Pre-update (existing) edge count.
+    pub base_edges: usize,
+    /// Edges inserted in the timed phase.
+    pub new_edges: usize,
+    /// Per-DPU heap size for the dynamic representations.
+    pub heap_size: u32,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphUpdateConfig {
+    /// A gowalla-shaped workload scaled to simulator-friendly size:
+    /// average degree ≈ 4.8 (gowalla's), 1:2 new:existing split.
+    fn default() -> Self {
+        GraphUpdateConfig {
+            repr: GraphRepr::LinkedList,
+            allocator: AllocatorKind::Sw,
+            n_dpus: 16,
+            n_tasklets: 16,
+            n_nodes: 8192,
+            base_edges: 26_000,
+            new_edges: 13_000,
+            heap_size: 32 << 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Results of one graph update run.
+#[derive(Debug, Clone)]
+pub struct GraphUpdateResult {
+    /// Representation evaluated.
+    pub repr: GraphRepr,
+    /// Allocator evaluated (meaningless for CSR).
+    pub allocator: AllocatorKind,
+    /// Timed update phase duration (slowest DPU), seconds.
+    pub update_secs: f64,
+    /// Update throughput in million edges per second (Figure 17(a)).
+    pub throughput_meps: f64,
+    /// Cycle breakdown of the update phase, summed over DPUs
+    /// (Figure 17(a) left axis).
+    pub breakdown: TaskletStats,
+    /// `(completion ms, latency µs)` of every `pim_malloc` on DPU 0
+    /// during the update phase (Figure 17(c)).
+    pub alloc_timeline: Vec<(f64, f64)>,
+    /// Total `pim_malloc` time per tasklet on DPU 0, µs (Figure 17(b)).
+    pub per_tasklet_malloc_us: Vec<f64>,
+    /// Metadata bytes moved between MRAM and WRAM by the allocator
+    /// across all DPUs.
+    pub meta_bytes: u64,
+    /// Aggregate MRAM<->WRAM traffic across all DPUs, bytes — data and
+    /// metadata together (Figure 17(d)'s DRAM transfer comparison).
+    pub dram_bytes: u64,
+    /// Fraction of `pim_malloc` calls serviced by the frontend
+    /// (Figure 11(a)).
+    pub frontend_fraction: f64,
+    /// Fraction of aggregate allocation latency spent on
+    /// backend-involved requests (Figure 11(b)).
+    pub backend_latency_fraction: f64,
+    /// Total `pim_malloc` calls across DPUs (build + update).
+    pub total_mallocs: u64,
+    /// Fragmentation A/U at end of run (PIM-malloc only; 0 otherwise).
+    pub frag_ratio: f64,
+}
+
+/// Partitions a global edge `(u, v)` to `(dpu, tasklet, local_u)`.
+fn place(u: u32, n_dpus: usize, n_tasklets: usize) -> (usize, usize, u32) {
+    let dpu = (u as usize) % n_dpus;
+    let local = u / n_dpus as u32;
+    let tasklet = (local as usize) % n_tasklets;
+    (dpu, tasklet, local)
+}
+
+fn workload(cfg: &GraphUpdateConfig) -> UpdateWorkload {
+    let total = cfg.base_edges + cfg.new_edges;
+    let g = generate_power_law(cfg.n_nodes, total, cfg.seed);
+    split_for_update_count(g, cfg.new_edges, cfg.seed ^ 0x5eed)
+}
+
+/// Per-DPU edge streams for one phase: `streams[tasklet] = [(local_u, v)]`.
+fn dpu_streams(
+    edges: &[(u32, u32)],
+    dpu: usize,
+    cfg: &GraphUpdateConfig,
+) -> Vec<Vec<(u32, u32)>> {
+    let mut streams = vec![Vec::new(); cfg.n_tasklets];
+    for &(u, v) in edges {
+        let (d, t, local) = place(u, cfg.n_dpus, cfg.n_tasklets);
+        if d == dpu {
+            streams[t].push((local, v));
+        }
+    }
+    streams
+}
+
+/// Inserts the streams in virtual-time order. `insert` performs one
+/// edge insertion and returns the latencies of any `pim_malloc` calls
+/// it triggered. Returns the malloc event series `(completion,
+/// latency)` and the per-tasklet total malloc time.
+fn run_phase<F>(
+    dpu: &mut DpuSim,
+    streams: &[Vec<(u32, u32)>],
+    mut insert: F,
+) -> (Vec<(Cycles, Cycles)>, Vec<Cycles>)
+where
+    F: FnMut(&mut DpuSim, usize, u32, u32) -> Vec<Cycles>,
+{
+    let n = streams.len();
+    let mut next = vec![0usize; n];
+    let mut events = Vec::new();
+    let mut per_tasklet = vec![Cycles::ZERO; n];
+    while let Some(tid) = (0..n)
+        .filter(|&t| next[t] < streams[t].len())
+        .min_by_key(|&t| dpu.clock(t))
+    {
+        let (u, v) = streams[tid][next[tid]];
+        next[tid] += 1;
+        for latency in insert(dpu, tid, u, v) {
+            events.push((dpu.clock(tid), latency));
+            per_tasklet[tid] += latency;
+        }
+    }
+    (events, per_tasklet)
+}
+
+/// Runs the graph update experiment.
+pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
+    let w = workload(cfg);
+    let local_nodes = cfg.n_nodes.div_ceil(cfg.n_dpus as u32);
+    let mhz = pim_sim::CostModel::default().clock_mhz;
+
+    // Per-DPU simulations are independent; run them on scoped threads
+    // and reduce in DPU order for determinism.
+    #[derive(Debug)]
+    struct DpuOutcome {
+        update: Cycles,
+        breakdown: TaskletStats,
+        meta: u64,
+        dram: u64,
+        events: Vec<(Cycles, Cycles)>,
+        per_tasklet: Vec<Cycles>,
+        frontend_hits: u64,
+        total_mallocs: u64,
+        cycles_frontend: Cycles,
+        cycles_backend: Cycles,
+        frag: Option<f64>,
+    }
+
+    let run_one_dpu = |dpu_idx: usize| -> DpuOutcome {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(cfg.n_tasklets));
+        let base = dpu_streams(&w.base.edges, dpu_idx, cfg);
+        let new = dpu_streams(&w.new_edges, dpu_idx, cfg);
+        let new_count: usize = new.iter().map(Vec::len).sum();
+        assert!(new_count > 0, "every DPU must receive new edges");
+
+        match cfg.repr {
+            GraphRepr::StaticCsr => {
+                // Bulk-build the CSR (untimed), then timed locked inserts.
+                let local_edges: Vec<(u32, u32)> = base.iter().flatten().copied().collect();
+                let mut csr = CsrGraph::build(local_nodes, &local_edges);
+                let mutex = dpu.alloc_mutex();
+                let t0 = dpu.max_clock();
+                for t in 0..cfg.n_tasklets {
+                    dpu.ctx(t).wait_until(t0);
+                }
+                let stats0 = dpu.total_stats();
+                run_phase(&mut dpu, &new, |dpu, tid, u, v| {
+                    let mut ctx = dpu.ctx(tid);
+                    ctx.mutex_lock(mutex);
+                    csr.insert(&mut ctx, u, v);
+                    ctx.mutex_unlock(mutex);
+                    Vec::new()
+                });
+                DpuOutcome {
+                    update: dpu.max_clock() - t0,
+                    breakdown: dpu.total_stats().since(&stats0),
+                    meta: 0,
+                    dram: dpu.traffic().total_bytes(),
+                    events: Vec::new(),
+                    per_tasklet: vec![Cycles::ZERO; cfg.n_tasklets],
+                    frontend_hits: 0,
+                    total_mallocs: 0,
+                    cycles_frontend: Cycles::ZERO,
+                    cycles_backend: Cycles::ZERO,
+                    frag: None,
+                }
+            }
+            GraphRepr::LinkedList | GraphRepr::VarArray => {
+                // The pre-update graph stays in its bulk-loaded static
+                // form (standard streaming-graph design: CSR base +
+                // dynamic delta); the *new* edges go into an initially
+                // empty dynamic structure, so each first touch of a
+                // node during the timed phase allocates — the
+                // allocation rate the paper's Figure 17 exhibits.
+                let _base_csr = {
+                    let local_edges: Vec<(u32, u32)> = base.iter().flatten().copied().collect();
+                    CsrGraph::build(local_nodes, &local_edges)
+                };
+                let mut alloc = cfg
+                    .allocator
+                    .build(&mut dpu, cfg.n_tasklets, cfg.heap_size);
+                enum Repr {
+                    Ll(LinkedListGraph),
+                    Va(VarArrayGraph),
+                }
+                let mut graph = match cfg.repr {
+                    GraphRepr::LinkedList => Repr::Ll(LinkedListGraph::new(local_nodes)),
+                    _ => Repr::Va(VarArrayGraph::new(local_nodes)),
+                };
+                let mut do_insert = |dpu: &mut DpuSim,
+                                     alloc: &mut dyn PimAllocator,
+                                     tid: usize,
+                                     u: u32,
+                                     v: u32|
+                 -> Vec<Cycles> {
+                    let before = alloc.alloc_stats().malloc_latencies.len();
+                    let mut ctx = dpu.ctx(tid);
+                    match &mut graph {
+                        Repr::Ll(g) => g.insert(&mut ctx, alloc, u, v).expect("heap sized"),
+                        Repr::Va(g) => g.insert(&mut ctx, alloc, u, v).expect("heap sized"),
+                    }
+                    alloc.alloc_stats().malloc_latencies.samples()[before..].to_vec()
+                };
+                // Barrier, then timed update phase on the empty delta.
+                let t0 = dpu.max_clock();
+                for t in 0..cfg.n_tasklets {
+                    dpu.ctx(t).wait_until(t0);
+                }
+                let stats0 = dpu.total_stats();
+                let (events, per_tasklet) = run_phase(&mut dpu, &new, |dpu, tid, u, v| {
+                    do_insert(dpu, alloc.as_mut(), tid, u, v)
+                });
+                let s = alloc.alloc_stats();
+                DpuOutcome {
+                    update: dpu.max_clock() - t0,
+                    breakdown: dpu.total_stats().since(&stats0),
+                    // Whole-run metadata traffic (build + update),
+                    // matching Figure 17(d)'s aggregate comparison.
+                    meta: allocator_meta_bytes(alloc.as_ref()),
+                    dram: dpu.traffic().total_bytes(),
+                    // Re-base event times onto the update phase origin.
+                    events: events
+                        .into_iter()
+                        .map(|(t, l)| (t.saturating_sub(t0), l))
+                        .collect(),
+                    per_tasklet,
+                    frontend_hits: s.frontend_hits,
+                    total_mallocs: s.total_mallocs(),
+                    cycles_frontend: s.cycles_frontend,
+                    cycles_backend: s.cycles_backend,
+                    frag: alloc
+                        .as_any()
+                        .downcast_ref::<pim_malloc::PimMalloc>()
+                        .map(|pm| pm.frag().ratio()),
+                }
+            }
+        }
+    };
+
+    let outcomes: Vec<DpuOutcome> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.n_dpus)
+            .map(|idx| scope.spawn(move |_| run_one_dpu(idx)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("DPU sim")).collect()
+    })
+    .expect("DPU simulation thread panicked");
+
+    let mut slowest = Cycles::ZERO;
+    let mut breakdown = TaskletStats::default();
+    let mut meta_bytes = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut frontend_hits = 0u64;
+    let mut total_mallocs = 0u64;
+    let mut cycles_frontend = Cycles::ZERO;
+    let mut cycles_backend = Cycles::ZERO;
+    let mut frag_sum = 0.0;
+    let mut frag_n = 0u32;
+    for o in &outcomes {
+        slowest = slowest.max(o.update);
+        breakdown = breakdown.merged(&o.breakdown);
+        meta_bytes += o.meta;
+        dram_bytes += o.dram;
+        frontend_hits += o.frontend_hits;
+        total_mallocs += o.total_mallocs;
+        cycles_frontend += o.cycles_frontend;
+        cycles_backend += o.cycles_backend;
+        if let Some(f) = o.frag {
+            frag_sum += f;
+            frag_n += 1;
+        }
+    }
+    let alloc_timeline: Vec<(f64, f64)> = outcomes[0]
+        .events
+        .iter()
+        .map(|&(t, l)| (t.as_millis(mhz), l.as_micros(mhz)))
+        .collect();
+    let per_tasklet_malloc_us: Vec<f64> = outcomes[0]
+        .per_tasklet
+        .iter()
+        .map(|c| c.as_micros(mhz))
+        .collect();
+
+    let update_secs = slowest.as_secs(mhz);
+    let total_latency = (cycles_frontend + cycles_backend).0 as f64;
+    GraphUpdateResult {
+        repr: cfg.repr,
+        allocator: cfg.allocator,
+        update_secs,
+        throughput_meps: cfg.new_edges as f64 / update_secs / 1e6,
+        breakdown,
+        alloc_timeline,
+        per_tasklet_malloc_us,
+        meta_bytes,
+        dram_bytes,
+        frontend_fraction: if total_mallocs == 0 {
+            0.0
+        } else {
+            frontend_hits as f64 / total_mallocs as f64
+        },
+        backend_latency_fraction: if total_latency == 0.0 {
+            0.0
+        } else {
+            cycles_backend.0 as f64 / total_latency
+        },
+        total_mallocs,
+        frag_ratio: if frag_n == 0 {
+            0.0
+        } else {
+            frag_sum / f64::from(frag_n)
+        },
+    }
+}
+
+fn allocator_meta_bytes(alloc: &dyn PimAllocator) -> u64 {
+    if let Some(pm) = alloc.as_any().downcast_ref::<pim_malloc::PimMalloc>() {
+        pm.metadata_stats().total_bytes()
+    } else if let Some(sm) = alloc
+        .as_any()
+        .downcast_ref::<pim_malloc::StrawManAllocator>()
+    {
+        sm.buddy().store().stats().total_bytes()
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(repr: GraphRepr, allocator: AllocatorKind) -> GraphUpdateConfig {
+        // Gowalla-shaped sparsity (avg degree ~4.7) so the timed phase
+        // first-touches many nodes and actually allocates.
+        GraphUpdateConfig {
+            repr,
+            allocator,
+            n_dpus: 4,
+            n_tasklets: 16,
+            n_nodes: 2048,
+            base_edges: 6400,
+            new_edges: 3200,
+            heap_size: 32 << 20,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn dynamic_sw_beats_static_csr() {
+        let stat = run_graph_update(&small(GraphRepr::StaticCsr, AllocatorKind::Sw));
+        let dyn_ll = run_graph_update(&small(GraphRepr::LinkedList, AllocatorKind::Sw));
+        assert!(
+            dyn_ll.throughput_meps > stat.throughput_meps,
+            "LL+SW {} must beat static {}",
+            dyn_ll.throughput_meps,
+            stat.throughput_meps
+        );
+    }
+
+    #[test]
+    fn straw_man_dynamic_loses_to_static() {
+        // Figure 17(a): the straw-man allocator makes the dynamic
+        // structure slower than the static baseline.
+        let stat = run_graph_update(&small(GraphRepr::StaticCsr, AllocatorKind::Sw));
+        let dyn_straw = run_graph_update(&small(GraphRepr::LinkedList, AllocatorKind::StrawMan));
+        assert!(
+            dyn_straw.throughput_meps < stat.throughput_meps,
+            "straw-man {} must lose to static {}",
+            dyn_straw.throughput_meps,
+            stat.throughput_meps
+        );
+    }
+
+    #[test]
+    fn vararray_outpaces_linked_list() {
+        let ll = run_graph_update(&small(GraphRepr::LinkedList, AllocatorKind::HwSw));
+        let va = run_graph_update(&small(GraphRepr::VarArray, AllocatorKind::HwSw));
+        assert!(
+            va.throughput_meps > ll.throughput_meps,
+            "vararray {} vs LL {}",
+            va.throughput_meps,
+            ll.throughput_meps
+        );
+    }
+
+    #[test]
+    fn hwsw_moves_less_metadata_than_sw() {
+        // Figure 17(d): the buddy cache cuts metadata DRAM traffic.
+        let sw = run_graph_update(&small(GraphRepr::LinkedList, AllocatorKind::Sw));
+        let hw = run_graph_update(&small(GraphRepr::LinkedList, AllocatorKind::HwSw));
+        assert!(
+            hw.meta_bytes < sw.meta_bytes,
+            "HW/SW {} must move less than SW {}",
+            hw.meta_bytes,
+            sw.meta_bytes
+        );
+    }
+
+    #[test]
+    fn frontend_services_most_requests() {
+        // Figure 11(a): ~90+% of graph-update mallocs hit the frontend.
+        let r = run_graph_update(&small(GraphRepr::LinkedList, AllocatorKind::Sw));
+        assert!(
+            r.frontend_fraction > 0.8,
+            "frontend fraction {}",
+            r.frontend_fraction
+        );
+        assert!(r.total_mallocs > 0);
+    }
+
+    #[test]
+    fn static_breakdown_is_memory_and_wait_bound() {
+        let r = run_graph_update(&small(GraphRepr::StaticCsr, AllocatorKind::Sw));
+        let (_run, busy, idle_mem, _etc) = r.breakdown.fractions();
+        assert!(
+            busy + idle_mem > 0.5,
+            "CSR shifts serialize on the mutex and DMA: busy={busy} mem={idle_mem}"
+        );
+    }
+
+    #[test]
+    fn update_cost_independent_of_base_size_for_dynamic() {
+        // Figure 3(c): dynamic update throughput is flat in pre-update
+        // size; static degrades.
+        let mut cfg = small(GraphRepr::LinkedList, AllocatorKind::Sw);
+        cfg.base_edges = 2000;
+        let small_g = run_graph_update(&cfg);
+        cfg.base_edges = 16_000;
+        let large_g = run_graph_update(&cfg);
+        let dyn_ratio = small_g.throughput_meps / large_g.throughput_meps;
+        assert!(
+            dyn_ratio < 2.0,
+            "dynamic must be nearly flat, ratio {dyn_ratio}"
+        );
+
+        let mut cfg = small(GraphRepr::StaticCsr, AllocatorKind::Sw);
+        cfg.base_edges = 2000;
+        let small_s = run_graph_update(&cfg);
+        cfg.base_edges = 48_000;
+        let large_s = run_graph_update(&cfg);
+        let stat_ratio = small_s.throughput_meps / large_s.throughput_meps;
+        assert!(
+            stat_ratio > 2.0,
+            "static must degrade with size, ratio {stat_ratio}"
+        );
+    }
+}

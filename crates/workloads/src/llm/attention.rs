@@ -1,0 +1,306 @@
+//! The PIM attention kernel — the paper's extension of the PrIM GEMV
+//! benchmark (§V) with dynamically allocated KV storage.
+//!
+//! Each DPU holds a shard of every active request's KV cache as a
+//! chain of allocator-provided 512 B blocks. A decode step streams
+//! each request's K blocks through WRAM to compute attention scores
+//! (a GEMV against the query shard), streams the V blocks for the
+//! weighted sum, appends the new token's KV — allocating a fresh block
+//! through `pim_malloc` whenever the tail block is full — and writes
+//! the output shard. Requests are partitioned across tasklets.
+//!
+//! The kernel stores real bytes for appended tokens, so tests can read
+//! a request's KV trail back out of the MRAM image.
+
+use pim_malloc::{AllocError, PimAllocator};
+use pim_sim::{Cycles, DpuSim, Mram, TaskletCtx};
+
+use super::config::LlmConfig;
+
+/// Instructions per 2-byte element of the score/weighted-sum GEMV
+/// (multiply-accumulate plus loop overhead on an in-order core).
+const MAC_INSTRS_PER_ELEM: u64 = 2;
+/// Fixed per-request instructions per step (softmax shard, pointers).
+const REQUEST_OVERHEAD_INSTRS: u64 = 120;
+
+/// One request's KV shard: a chain of fixed-size blocks.
+#[derive(Debug, Clone)]
+struct KvShard {
+    blocks: Vec<u32>,
+    /// Bytes of the final block already filled.
+    tail_used: u32,
+    tokens: u32,
+}
+
+/// The per-DPU attention kernel state for a batch of requests.
+#[derive(Debug)]
+pub struct AttentionKernel {
+    cfg: LlmConfig,
+    shards: Vec<KvShard>,
+}
+
+impl AttentionKernel {
+    /// Creates a kernel with an empty batch.
+    pub fn new(cfg: LlmConfig) -> Self {
+        AttentionKernel {
+            cfg,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Number of active requests.
+    pub fn batch_size(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Tokens held by request `idx`.
+    pub fn tokens(&self, idx: usize) -> u32 {
+        self.shards[idx].tokens
+    }
+
+    /// Total 512 B blocks held across the batch.
+    pub fn total_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.blocks.len()).sum()
+    }
+
+    /// Admits a request and writes its prompt's KV shard (allocating
+    /// blocks and storing recognizable bytes for verification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] when the heap cannot hold the prompt.
+    pub fn admit(
+        &mut self,
+        ctx: &mut TaskletCtx<'_>,
+        alloc: &mut dyn PimAllocator,
+        prompt_tokens: u32,
+    ) -> Result<usize, AllocError> {
+        let mut shard = KvShard {
+            blocks: Vec::new(),
+            tail_used: 0,
+            tokens: 0,
+        };
+        let idx = self.shards.len();
+        for t in 0..prompt_tokens {
+            Self::append_token(&self.cfg, &mut shard, ctx, alloc, idx as u32, t)?;
+        }
+        self.shards.push(shard);
+        Ok(idx)
+    }
+
+    /// Appends one token's per-DPU KV bytes to `shard`.
+    fn append_token(
+        cfg: &LlmConfig,
+        shard: &mut KvShard,
+        ctx: &mut TaskletCtx<'_>,
+        alloc: &mut dyn PimAllocator,
+        request: u32,
+        token: u32,
+    ) -> Result<(), AllocError> {
+        let per_token = cfg.kv_bytes_per_token_per_dpu() as u32;
+        let block = cfg.kv_block_bytes;
+        let mut remaining = per_token;
+        while remaining > 0 {
+            if shard.blocks.is_empty() || shard.tail_used == block {
+                let addr = alloc.pim_malloc(ctx, block)?;
+                shard.blocks.push(addr);
+                shard.tail_used = 0;
+            }
+            let chunk = remaining.min(block - shard.tail_used);
+            let tail = *shard.blocks.last().expect("just ensured");
+            // Store a recognizable stamp at the token's start so tests
+            // can walk the chain back; the rest is latency-only.
+            let stamp = (u64::from(request) << 32) | u64::from(token);
+            ctx.mram_write_bytes(tail + shard.tail_used, &stamp.to_le_bytes());
+            if chunk > 8 {
+                ctx.mram_write(tail + shard.tail_used + 8, chunk - 8);
+            }
+            shard.tail_used += chunk;
+            remaining -= chunk;
+        }
+        shard.tokens = token + 1;
+        Ok(())
+    }
+
+    /// Runs one decode step for the whole batch: per request, stream K
+    /// (scores), stream V (weighted sum), append the new token's KV.
+    ///
+    /// Requests are distributed round-robin over the DPU's tasklets;
+    /// the returned duration is the step's wall time on this DPU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError`] if KV growth exhausts the heap.
+    pub fn decode_step(
+        &mut self,
+        dpu: &mut DpuSim,
+        alloc: &mut dyn PimAllocator,
+    ) -> Result<Cycles, AllocError> {
+        let start = dpu.max_clock();
+        let n_tasklets = dpu.config().n_tasklets;
+        let block = self.cfg.kv_block_bytes;
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let tid = idx % n_tasklets;
+            let mut ctx = dpu.ctx(tid);
+            ctx.instrs(REQUEST_OVERHEAD_INSTRS);
+            // Score pass (K) and weighted-sum pass (V): stream every
+            // block through WRAM and MAC over its elements. K and V
+            // interleave within the same shard blocks (half each).
+            for pass in 0..2 {
+                let _ = pass;
+                for (bi, &addr) in shard.blocks.iter().enumerate() {
+                    let bytes = if bi + 1 == shard.blocks.len() {
+                        shard.tail_used
+                    } else {
+                        block
+                    };
+                    if bytes == 0 {
+                        continue;
+                    }
+                    ctx.mram_read(addr, bytes);
+                    ctx.instrs(u64::from(bytes / 2) * MAC_INSTRS_PER_ELEM / 2);
+                }
+            }
+            // Output shard write-back.
+            ctx.mram_write(0, 64);
+            // Append the new token's KV (may allocate).
+            let token = shard.tokens;
+            Self::append_token(&self.cfg, shard, &mut ctx, alloc, idx as u32, token)?;
+        }
+        Ok(dpu.max_clock() - start)
+    }
+
+    /// Walks request `idx`'s block chain in the MRAM image and returns
+    /// the token stamps found at each token boundary.
+    pub fn read_back_tokens(&self, mram: &Mram, idx: usize) -> Vec<(u32, u32)> {
+        let shard = &self.shards[idx];
+        let per_token = self.cfg.kv_bytes_per_token_per_dpu() as u32;
+        let block = self.cfg.kv_block_bytes;
+        let mut out = Vec::new();
+        for t in 0..shard.tokens {
+            let byte_off = t * per_token;
+            let (bi, off) = ((byte_off / block) as usize, byte_off % block);
+            let stamp = mram.read_u64(shard.blocks[bi] + off);
+            out.push(((stamp >> 32) as u32, stamp as u32));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use pim_sim::DpuConfig;
+
+    fn small_cfg() -> LlmConfig {
+        LlmConfig {
+            heap_bytes: 8 << 20,
+            ..LlmConfig::default()
+        }
+    }
+
+    fn setup(kind: AllocatorKind) -> (DpuSim, Box<dyn PimAllocator>) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
+        let alloc = kind.build(&mut dpu, 16, 8 << 20);
+        (dpu, alloc)
+    }
+
+    #[test]
+    fn admit_allocates_the_expected_block_count() {
+        let cfg = small_cfg();
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw);
+        let mut k = AttentionKernel::new(cfg);
+        let mut ctx = dpu.ctx(0);
+        // 1 KB of KV per token / 512 B blocks = 2 blocks per token.
+        k.admit(&mut ctx, alloc.as_mut(), 10).unwrap();
+        assert_eq!(k.total_blocks(), 20);
+        assert_eq!(k.tokens(0), 10);
+    }
+
+    #[test]
+    fn decode_steps_grow_kv_and_preserve_stamps() {
+        let cfg = small_cfg();
+        let (mut dpu, mut alloc) = setup(AllocatorKind::HwSw);
+        let mut k = AttentionKernel::new(cfg);
+        for r in 0..4 {
+            let mut ctx = dpu.ctx(r % 16);
+            k.admit(&mut ctx, alloc.as_mut(), 8).unwrap();
+        }
+        for _ in 0..5 {
+            k.decode_step(&mut dpu, alloc.as_mut()).unwrap();
+        }
+        for r in 0..4usize {
+            assert_eq!(k.tokens(r), 13);
+            let stamps = k.read_back_tokens(dpu.mram(), r);
+            assert_eq!(stamps.len(), 13);
+            for (t, &(req, tok)) in stamps.iter().enumerate() {
+                assert_eq!(req, r as u32, "request stamp");
+                assert_eq!(tok, t as u32, "token stamp in order");
+            }
+        }
+    }
+
+    #[test]
+    fn step_time_scales_with_context_length() {
+        let cfg = small_cfg();
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw);
+        let mut k = AttentionKernel::new(cfg);
+        {
+            let mut ctx = dpu.ctx(0);
+            k.admit(&mut ctx, alloc.as_mut(), 16).unwrap();
+        }
+        let early = k.decode_step(&mut dpu, alloc.as_mut()).unwrap();
+        // Grow the context substantially, then measure again.
+        for _ in 0..60 {
+            k.decode_step(&mut dpu, alloc.as_mut()).unwrap();
+        }
+        let late = k.decode_step(&mut dpu, alloc.as_mut()).unwrap();
+        assert!(
+            late.0 > early.0 * 3,
+            "attention is O(context): {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn straw_man_allocation_inflates_step_time() {
+        let cfg = small_cfg();
+        let step_time = |kind: AllocatorKind| {
+            let (mut dpu, mut alloc) = setup(kind);
+            let mut k = AttentionKernel::new(cfg);
+            for r in 0..8 {
+                let mut ctx = dpu.ctx(r % 16);
+                k.admit(&mut ctx, alloc.as_mut(), 4).unwrap();
+            }
+            let mut total = Cycles::ZERO;
+            for _ in 0..4 {
+                total += k.decode_step(&mut dpu, alloc.as_mut()).unwrap();
+            }
+            total
+        };
+        let straw = step_time(AllocatorKind::StrawMan);
+        let sw = step_time(AllocatorKind::Sw);
+        let hw = step_time(AllocatorKind::HwSw);
+        assert!(
+            straw.0 > sw.0 * 2,
+            "straw-man decode must pay for allocation: {straw} vs {sw}"
+        );
+        assert!(hw <= sw);
+    }
+
+    #[test]
+    fn heap_exhaustion_surfaces_as_oom() {
+        let cfg = LlmConfig {
+            heap_bytes: 1 << 20,
+            ..LlmConfig::default()
+        };
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
+        let mut alloc = AllocatorKind::Sw.build(&mut dpu, 16, 1 << 20);
+        let mut k = AttentionKernel::new(cfg);
+        let mut ctx = dpu.ctx(0);
+        // 1 MB heap holds ~1000 tokens of KV; a 2000-token prompt must
+        // fail with OOM, not panic.
+        let err = k.admit(&mut ctx, alloc.as_mut(), 2000);
+        assert!(matches!(err, Err(AllocError::OutOfMemory { .. })));
+    }
+}

@@ -1,0 +1,123 @@
+//! Synthetic request traces standing in for ShareGPT.
+//!
+//! The ShareGPT dataset cannot be shipped; its relevant property for
+//! the KV-cache experiments is the *length distribution*: prompt and
+//! output lengths are right-skewed with a long tail. We draw lengths
+//! from a clipped log-normal fitted to published ShareGPT statistics
+//! (median output ≈ 200 tokens, long tail to the context limit).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Output length in tokens (known only at completion in reality;
+    /// the simulator uses it as ground truth).
+    pub output_tokens: u32,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+}
+
+impl RequestSpec {
+    /// Total tokens whose KV this request eventually holds.
+    pub fn total_tokens(&self) -> u32 {
+        self.prompt_tokens + self.output_tokens
+    }
+}
+
+/// Draws a clipped log-normal sample.
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64, min: u32, max: u32) -> u32 {
+    // Box–Muller from two uniforms; StdRng is deterministic per seed.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let v = (mu + sigma * z).exp();
+    (v.round() as u32).clamp(min, max)
+}
+
+/// Generates a ShareGPT-shaped trace of `n` requests arriving at
+/// `rate_per_s`, with lengths clipped to `max_seq_len`.
+///
+/// Deterministic for a given `seed`.
+pub fn sharegpt_like_trace(n: usize, rate_per_s: f64, max_seq_len: u32, seed: u64) -> Vec<RequestSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let prompt = lognormal(&mut rng, 4.6, 0.8, 8, max_seq_len / 2);
+            let output = lognormal(
+                &mut rng,
+                5.3,
+                0.7,
+                4,
+                max_seq_len.saturating_sub(prompt).max(4),
+            );
+            RequestSpec {
+                prompt_tokens: prompt,
+                output_tokens: output,
+                arrival_s: i as f64 / rate_per_s,
+            }
+        })
+        .collect()
+}
+
+/// The paper's Figure 18 trace: `n` requests at `rate_per_s`, each
+/// with a fixed 128-token prompt and 256-token output (§V).
+pub fn fixed_trace(n: usize, rate_per_s: f64) -> Vec<RequestSpec> {
+    (0..n)
+        .map(|i| RequestSpec {
+            prompt_tokens: 128,
+            output_tokens: 256,
+            arrival_s: i as f64 / rate_per_s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_in_range() {
+        let a = sharegpt_like_trace(200, 10.0, 768, 3);
+        let b = sharegpt_like_trace(200, 10.0, 768, 3);
+        assert_eq!(a, b);
+        for r in &a {
+            assert!(r.prompt_tokens >= 8);
+            assert!(r.total_tokens() <= 768 + 4);
+            assert!(r.output_tokens >= 4);
+        }
+    }
+
+    #[test]
+    fn lengths_are_skewed() {
+        let t = sharegpt_like_trace(2000, 10.0, 768, 7);
+        let mut outs: Vec<u32> = t.iter().map(|r| r.output_tokens).collect();
+        outs.sort_unstable();
+        let median = outs[outs.len() / 2];
+        let p95 = outs[outs.len() * 95 / 100];
+        assert!(
+            p95 > median * 2,
+            "long tail expected: median {median}, p95 {p95}"
+        );
+        // Median output lands near ShareGPT's ~200 tokens.
+        assert!((100..=350).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn arrivals_match_rate() {
+        let t = sharegpt_like_trace(100, 10.0, 768, 1);
+        assert!((t[99].arrival_s - 9.9).abs() < 1e-9);
+        assert_eq!(t[0].arrival_s, 0.0);
+    }
+
+    #[test]
+    fn fixed_trace_matches_methodology() {
+        let t = fixed_trace(100, 10.0);
+        assert_eq!(t.len(), 100);
+        assert!(t.iter().all(|r| r.prompt_tokens == 128 && r.output_tokens == 256));
+    }
+}

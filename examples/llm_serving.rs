@@ -1,0 +1,53 @@
+//! LLM attention serving on PIM: KV-cache allocation schemes compared
+//! on throughput and time-per-output-token — the paper's case study #2.
+//!
+//! Run with: `cargo run --release --example llm_serving`
+
+use pim_workloads::llm::{
+    fixed_trace, max_batch_size, run_serving, sharegpt_like_trace, KvScheme, LlmConfig,
+    ServingConfig,
+};
+use pim_workloads::AllocatorKind;
+
+fn main() {
+    let llm = LlmConfig::default();
+    println!(
+        "Llama-2-7B on {} DPUs: {} KB of KV per token model-wide, {} B/token/DPU",
+        llm.n_dpus,
+        llm.kv_bytes_per_token_total() >> 10,
+        llm.kv_bytes_per_token_per_dpu()
+    );
+
+    // Figure 4(b): maximum batch under static vs dynamic KV allocation.
+    let trace = sharegpt_like_trace(300, 10.0, llm.max_seq_len, 11);
+    println!("\nmaximum batch size (ShareGPT-shaped lengths):");
+    for scheme in [KvScheme::Static, KvScheme::Dynamic(AllocatorKind::Sw)] {
+        let r = max_batch_size(scheme, &llm, &trace);
+        println!("  {:20} {}", scheme.label(), r.max_batch);
+    }
+
+    // Figure 18: serving 100 requests at 10 req/s (128-in / 256-out).
+    let cfg = ServingConfig::default();
+    let trace = fixed_trace(100, 10.0);
+    println!("\nserving 100 requests at 10 req/s:");
+    println!(
+        "  {:20} {:>10} {:>12} {:>12} {:>10}",
+        "scheme", "tokens/s", "TPOT p50 ms", "TPOT p99 ms", "peak batch"
+    );
+    for scheme in [
+        KvScheme::Static,
+        KvScheme::Dynamic(AllocatorKind::StrawMan),
+        KvScheme::Dynamic(AllocatorKind::Sw),
+        KvScheme::Dynamic(AllocatorKind::HwSw),
+    ] {
+        let r = run_serving(scheme, &cfg, &trace);
+        println!(
+            "  {:20} {:>10.0} {:>12.1} {:>12.1} {:>10}",
+            scheme.label(),
+            r.throughput_tokens_per_s,
+            r.tpot_p50_ms,
+            r.tpot_p99_ms,
+            r.peak_batch
+        );
+    }
+}

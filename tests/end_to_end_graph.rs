@@ -1,0 +1,129 @@
+//! End-to-end dynamic-graph integration: workload generation, the
+//! allocators, and the MRAM byte store must agree — every edge written
+//! through the allocator is recoverable by walking pointers out of the
+//! simulated memory image, under every allocator design.
+
+use pim_sim::{DpuConfig, DpuSim};
+use pim_workloads::graph::linked::LinkedListGraph;
+use pim_workloads::graph::vararray::VarArrayGraph;
+use pim_workloads::graph::{
+    generate_power_law, run_graph_update, GraphRepr, GraphUpdateConfig,
+};
+use pim_workloads::AllocatorKind;
+
+#[test]
+fn linked_list_mram_image_is_exact_under_every_allocator() {
+    for kind in [AllocatorKind::StrawMan, AllocatorKind::Sw, AllocatorKind::HwSw] {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(8));
+        let mut alloc = kind.build(&mut dpu, 8, 32 << 20);
+        let graph = generate_power_law(256, 2400, 21);
+        let mut delta = LinkedListGraph::new(256);
+        let mut expect = graph.edges.clone();
+        for &(u, v) in &graph.edges {
+            let mut ctx = dpu.ctx((u as usize) % 8);
+            delta.insert(&mut ctx, alloc.as_mut(), u, v).unwrap();
+        }
+        let mut got = delta.read_back(dpu.mram());
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "{kind:?}: MRAM image diverged");
+    }
+}
+
+#[test]
+fn vararray_mram_image_survives_grow_copies() {
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(4));
+    let mut alloc = AllocatorKind::HwSw.build(&mut dpu, 4, 32 << 20);
+    // Heavily skewed graph: a few nodes grow through many doublings.
+    let graph = generate_power_law(32, 3000, 5);
+    let mut va = VarArrayGraph::new(32);
+    let mut expect = Vec::new();
+    for &(u, v) in &graph.edges {
+        let mut ctx = dpu.ctx((u as usize) % 4);
+        va.insert(&mut ctx, alloc.as_mut(), u, v).unwrap();
+        expect.push((u, v));
+    }
+    assert!(va.grow_count() > 10, "want many grow-copies to stress free/copy");
+    let mut got = va.read_back(dpu.mram());
+    got.sort_unstable();
+    expect.sort_unstable();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn update_experiment_covers_every_new_edge() {
+    // The per-DPU partition must neither drop nor duplicate edges: the
+    // run reports exactly `new_edges` inserts worth of throughput.
+    let cfg = GraphUpdateConfig {
+        repr: GraphRepr::LinkedList,
+        allocator: AllocatorKind::Sw,
+        n_dpus: 4,
+        n_tasklets: 8,
+        n_nodes: 1024,
+        base_edges: 3000,
+        new_edges: 1500,
+        ..GraphUpdateConfig::default()
+    };
+    let r = run_graph_update(&cfg);
+    assert!(r.update_secs > 0.0);
+    assert!(r.total_mallocs > 0);
+    // Throughput × time = edges inserted.
+    let edges = r.throughput_meps * 1e6 * r.update_secs;
+    assert!((edges - 1500.0).abs() < 1.0, "edges accounted: {edges}");
+}
+
+#[test]
+fn partitioning_is_deterministic_across_runs() {
+    let cfg = GraphUpdateConfig {
+        repr: GraphRepr::VarArray,
+        allocator: AllocatorKind::Sw,
+        n_dpus: 2,
+        n_tasklets: 4,
+        n_nodes: 512,
+        base_edges: 1500,
+        new_edges: 700,
+        ..GraphUpdateConfig::default()
+    };
+    let a = run_graph_update(&cfg);
+    let b = run_graph_update(&cfg);
+    assert_eq!(a.update_secs, b.update_secs, "simulation must be deterministic");
+    assert_eq!(a.total_mallocs, b.total_mallocs);
+    assert_eq!(a.meta_bytes, b.meta_bytes);
+}
+
+#[test]
+fn figure17_orderings_hold_end_to_end() {
+    let base = GraphUpdateConfig {
+        n_dpus: 2,
+        n_tasklets: 16,
+        n_nodes: 1024,
+        base_edges: 3200,
+        new_edges: 1600,
+        ..GraphUpdateConfig::default()
+    };
+    let stat = run_graph_update(&GraphUpdateConfig {
+        repr: GraphRepr::StaticCsr,
+        ..base
+    });
+    let straw = run_graph_update(&GraphUpdateConfig {
+        repr: GraphRepr::LinkedList,
+        allocator: AllocatorKind::StrawMan,
+        ..base
+    });
+    let sw = run_graph_update(&GraphUpdateConfig {
+        repr: GraphRepr::LinkedList,
+        allocator: AllocatorKind::Sw,
+        ..base
+    });
+    let hw = run_graph_update(&GraphUpdateConfig {
+        repr: GraphRepr::LinkedList,
+        allocator: AllocatorKind::HwSw,
+        ..base
+    });
+    assert!(straw.throughput_meps < stat.throughput_meps);
+    assert!(sw.throughput_meps > stat.throughput_meps);
+    assert!(hw.throughput_meps >= sw.throughput_meps);
+    // Straw-man time is dominated by busy-waiting (Figure 17(a)).
+    let (_, busy, _, _) = straw.breakdown.fractions();
+    assert!(busy > 0.5, "straw-man busy-wait fraction {busy}");
+}

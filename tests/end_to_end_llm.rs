@@ -1,0 +1,108 @@
+//! End-to-end LLM-serving integration: KV arithmetic, admission
+//! control, the allocators, and the serving simulator must compose
+//! into the paper's Figure 4(b)/18 behaviour.
+
+use pim_workloads::llm::{
+    fixed_trace, kv_fragmentation, max_batch_size, run_serving, sharegpt_like_trace, KvScheme,
+    LlmConfig, ServingConfig,
+};
+use pim_workloads::AllocatorKind;
+
+#[test]
+fn batch_capacity_is_conserved_by_memory_accounting() {
+    let cfg = LlmConfig::default();
+    let trace = sharegpt_like_trace(400, 10.0, cfg.max_seq_len, 3);
+    let dy = max_batch_size(KvScheme::Dynamic(AllocatorKind::Sw), &cfg, &trace);
+    // The admitted requests' dynamic KV must fit the heap; one more
+    // request must not.
+    let used: u64 = trace[..dy.max_batch]
+        .iter()
+        .map(|r| cfg.dynamic_bytes_per_request(r.total_tokens()))
+        .sum();
+    assert!(used <= u64::from(cfg.heap_bytes.next_power_of_two()));
+    let with_next: u64 = used
+        + cfg.dynamic_bytes_per_request(trace[dy.max_batch].total_tokens());
+    // Allow the allocator's own overheads (pre-population, rounding) a
+    // margin: the next request must overflow the raw heap less ~3%.
+    assert!(
+        with_next > u64::from(cfg.heap_bytes) * 97 / 100,
+        "admission stopped early: {with_next} of {}",
+        cfg.heap_bytes
+    );
+}
+
+#[test]
+fn serving_conserves_tokens_under_every_scheme() {
+    let cfg = ServingConfig::default();
+    let trace = fixed_trace(50, 10.0);
+    for scheme in [
+        KvScheme::Static,
+        KvScheme::Dynamic(AllocatorKind::StrawMan),
+        KvScheme::Dynamic(AllocatorKind::Sw),
+        KvScheme::Dynamic(AllocatorKind::HwSw),
+    ] {
+        let r = run_serving(scheme, &cfg, &trace);
+        let produced = r.throughput_tokens_per_s * r.makespan_s;
+        assert!(
+            (produced - 50.0 * 256.0).abs() < 1.0,
+            "{scheme:?} lost tokens: {produced}"
+        );
+        assert!(r.tpot_p50_ms <= r.tpot_p95_ms && r.tpot_p95_ms <= r.tpot_p99_ms);
+    }
+}
+
+#[test]
+fn figure18_shape_holds_end_to_end() {
+    let cfg = ServingConfig::default();
+    let trace = fixed_trace(100, 10.0);
+    let st = run_serving(KvScheme::Static, &cfg, &trace);
+    let straw = run_serving(KvScheme::Dynamic(AllocatorKind::StrawMan), &cfg, &trace);
+    let sw = run_serving(KvScheme::Dynamic(AllocatorKind::Sw), &cfg, &trace);
+    let hw = run_serving(KvScheme::Dynamic(AllocatorKind::HwSw), &cfg, &trace);
+    // Throughput: HW/SW best, well above static; straw-man pays for
+    // its allocation latency.
+    assert!(hw.throughput_tokens_per_s >= sw.throughput_tokens_per_s);
+    assert!(hw.throughput_tokens_per_s > 1.2 * st.throughput_tokens_per_s);
+    assert!(sw.throughput_tokens_per_s > straw.throughput_tokens_per_s);
+    // TPOT: static cheapest per token; straw-man worst.
+    assert!(st.tpot_p50_ms <= hw.tpot_p50_ms);
+    assert!(hw.tpot_p50_ms <= sw.tpot_p50_ms);
+    assert!(straw.tpot_p50_ms > sw.tpot_p50_ms);
+    // Dynamic schemes form strictly larger batches.
+    assert!(hw.peak_batch > st.peak_batch);
+}
+
+#[test]
+fn fragmentation_table_row_matches_paper_shape() {
+    let cfg = LlmConfig::default();
+    let eager = kv_fragmentation(false, &cfg, 8, 32);
+    let lazy = kv_fragmentation(true, &cfg, 8, 32);
+    assert!(eager > lazy, "eager {eager} vs lazy {lazy}");
+    assert!((lazy - 1.0).abs() < 0.02, "512 B packs 4 KB blocks: {lazy}");
+}
+
+#[test]
+fn trace_length_distribution_drives_capacity_gap() {
+    // With a *degenerate* trace (every output at the max), dynamic and
+    // static converge; skewed traces open the Figure 4(b) gap.
+    let cfg = LlmConfig::default();
+    let uniform: Vec<_> = (0..200)
+        .map(|i| pim_workloads::llm::RequestSpec {
+            prompt_tokens: cfg.max_seq_len / 2,
+            output_tokens: cfg.max_seq_len / 2,
+            arrival_s: i as f64 / 10.0,
+        })
+        .collect();
+    let skewed = sharegpt_like_trace(200, 10.0, cfg.max_seq_len, 17);
+    let st = max_batch_size(KvScheme::Static, &cfg, &uniform).max_batch;
+    let dy_uniform = max_batch_size(KvScheme::Dynamic(AllocatorKind::Sw), &cfg, &uniform).max_batch;
+    let dy_skewed = max_batch_size(KvScheme::Dynamic(AllocatorKind::Sw), &cfg, &skewed).max_batch;
+    assert!(
+        dy_uniform <= st + st / 2,
+        "worst-case-length trace leaves little dynamic headroom: {dy_uniform} vs {st}"
+    );
+    assert!(
+        dy_skewed > dy_uniform,
+        "skew must open the gap: {dy_skewed} vs {dy_uniform}"
+    );
+}
