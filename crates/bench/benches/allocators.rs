@@ -48,7 +48,11 @@ fn bench_fig7_heap_sweep(c: &mut Criterion) {
 /// alloc/free pair through each design (simulator-side).
 fn bench_alloc_free_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("alloc_free_pair");
-    for kind in [AllocatorKind::Sw, AllocatorKind::HwSw, AllocatorKind::StrawMan] {
+    for kind in [
+        AllocatorKind::Sw,
+        AllocatorKind::HwSw,
+        AllocatorKind::StrawMan,
+    ] {
         group.bench_function(kind.label(), |b| {
             let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
             let mut alloc = kind.build(&mut dpu, 1, 4 << 20);

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pim_malloc::{
-    BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend, PimAllocator,
-    StrawManAllocator, StrawManConfig,
+    BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend, PimAllocator, StrawManAllocator,
+    StrawManConfig,
 };
 use pim_sim::{BuddyCache, BuddyCacheConfig, DpuConfig, DpuSim, LookupResult, Mram};
 use pim_workloads::micro::{run_micro, run_micro_with_cache, MicroConfig};

@@ -1,13 +1,14 @@
 //! `repro` — regenerate the PIM-malloc paper's tables and figures.
 //!
 //! ```text
-//! repro all [--quick] [--csv DIR]   run every experiment
-//! repro <id> [--quick] [--csv DIR]  run one experiment (fig15, ...)
-//! repro list                        list experiment ids
+//! repro all [--quick] [--csv DIR] [--json DIR]   run every experiment
+//! repro <id> [--quick] [--csv DIR] [--json DIR]  run one experiment (fig15, ...)
+//! repro list                                     list experiment ids
 //! ```
 //!
 //! `--csv DIR` additionally writes each experiment's rows to
-//! `DIR/<id>.csv` (plot-ready series).
+//! `DIR/<id>.csv` (plot-ready series); `--json DIR` writes
+//! `DIR/<id>.json` (machine-readable, with title and paper reference).
 //!
 //! `--quick` trims sweep sizes for a fast smoke run; without it the
 //! experiments use paper-scale parameters where feasible.
@@ -22,11 +23,22 @@ use pim_bench::figures;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let dir_flag = |flag: &str| -> Result<Option<String>, String> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => match args.get(i + 1) {
+                Some(dir) if !dir.starts_with("--") => Ok(Some(dir.clone())),
+                _ => Err(format!("{flag} requires a DIR operand")),
+            },
+        }
+    };
+    let (csv_dir, json_dir) = match (dir_flag("--csv"), dir_flag("--json")) {
+        (Ok(csv), Ok(json)) => (csv, json),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let targets: Vec<&str> = {
         let mut skip_next = false;
         args.iter()
@@ -35,7 +47,7 @@ fn main() -> ExitCode {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--csv" {
+                if *a == "--csv" || *a == "--json" {
                     skip_next = true;
                     return false;
                 }
@@ -45,12 +57,19 @@ fn main() -> ExitCode {
             .collect()
     };
     let target = targets.first().copied().unwrap_or("all");
-    let write_csv = |experiments: &[pim_bench::Experiment]| {
+    let write_outputs = |experiments: &[pim_bench::Experiment]| {
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             for e in experiments {
                 let path = std::path::Path::new(dir).join(format!("{}.csv", e.id));
                 std::fs::write(&path, e.to_csv()).expect("write csv");
+            }
+        }
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            for e in experiments {
+                let path = std::path::Path::new(dir).join(format!("{}.json", e.id));
+                std::fs::write(&path, e.to_json()).expect("write json");
             }
         }
     };
@@ -71,18 +90,17 @@ fn main() -> ExitCode {
             // pool and print in paper order as they complete.
             let results: Mutex<BTreeMap<usize, Vec<pim_bench::Experiment>>> =
                 Mutex::new(BTreeMap::new());
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (idx, id) in figures::ALL_IDS.iter().enumerate() {
                     let results = &results;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let out = figures::run(id, quick);
                         results.lock().insert(idx, out);
                     });
                 }
-            })
-            .expect("experiment thread panicked");
+            });
             for (_, experiments) in results.into_inner() {
-                write_csv(&experiments);
+                write_outputs(&experiments);
                 for e in experiments {
                     println!("{e}");
                 }
@@ -91,7 +109,7 @@ fn main() -> ExitCode {
         }
         id if figures::ALL_IDS.contains(&id) => {
             let experiments = figures::run(id, quick);
-            write_csv(&experiments);
+            write_outputs(&experiments);
             for e in experiments {
                 println!("{e}");
             }

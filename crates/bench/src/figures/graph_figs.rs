@@ -217,7 +217,10 @@ mod tests {
             .unwrap()
             .value("vs static")
             .unwrap();
-        assert!(straw < 1.0, "straw-man dynamic must lose to static: {straw}");
+        assert!(
+            straw < 1.0,
+            "straw-man dynamic must lose to static: {straw}"
+        );
         let hw = e
             .row("Dynamic (Array of linked list) + PIM-malloc-HW/SW")
             .unwrap()

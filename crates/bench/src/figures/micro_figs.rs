@@ -1,7 +1,9 @@
 //! Microbenchmark-driven figures: 7, 8, 15, 16, and the ablations.
 
 use pim_sim::BuddyCacheConfig;
-use pim_workloads::micro::{run_micro, run_micro_with_cache, run_straw_man_grid_point, MicroConfig};
+use pim_workloads::micro::{
+    run_micro, run_micro_with_cache, run_straw_man_grid_point, MicroConfig,
+};
 use pim_workloads::AllocatorKind;
 
 use crate::report::{Experiment, Row};
@@ -60,13 +62,12 @@ pub fn fig8(quick: bool) -> Experiment {
         let n = r.timeline_us.len().max(1);
         let early: f64 =
             r.timeline_us[..n / 4].iter().map(|&(_, l)| l).sum::<f64>() / (n / 4).max(1) as f64;
-        let late: f64 = r.timeline_us[3 * n / 4..].iter().map(|&(_, l)| l).sum::<f64>()
-            / (n - 3 * n / 4).max(1) as f64;
-        let max = r
-            .timeline_us
+        let late: f64 = r.timeline_us[3 * n / 4..]
             .iter()
             .map(|&(_, l)| l)
-            .fold(0.0f64, f64::max);
+            .sum::<f64>()
+            / (n - 3 * n / 4).max(1) as f64;
+        let max = r.timeline_us.iter().map(|&(_, l)| l).fold(0.0f64, f64::max);
         let (run, busy, mem, etc) = r.breakdown.fractions();
         e.push(Row::new(
             format!("{threads} thread(s)"),
@@ -143,7 +144,10 @@ pub fn fig16(quick: bool) -> Experiment {
             vec![
                 ("speedup vs SW", sw / r.avg_latency_us),
                 ("hit rate", bc.hit_rate()),
-                ("bytes/req", r.meta.total_bytes() as f64 / (16.0 * cfg.allocs_per_tasklet as f64)),
+                (
+                    "bytes/req",
+                    r.meta.total_bytes() as f64 / (16.0 * cfg.allocs_per_tasklet as f64),
+                ),
             ],
         ));
     }
@@ -178,7 +182,10 @@ pub fn ablation_swlru(quick: bool) -> Experiment {
         vec![
             ("avg us", fine.avg_latency_us),
             ("meta KB", fine.meta.total_bytes() as f64 / 1024.0),
-            ("regression", fine.avg_latency_us / coarse.avg_latency_us - 1.0),
+            (
+                "regression",
+                fine.avg_latency_us / coarse.avg_latency_us - 1.0,
+            ),
         ],
     ));
     e

@@ -22,8 +22,22 @@ use crate::report::Experiment;
 
 /// Every experiment id, in paper order.
 pub const ALL_IDS: [&str; 16] = [
-    "fig3c", "fig4b", "fig6a", "fig6b", "fig7", "fig8", "fig11", "fig15", "fig16", "fig17",
-    "fig18", "table3", "metadata-overhead", "hw-overhead", "ablations", "discussion",
+    "fig3c",
+    "fig4b",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "table3",
+    "metadata-overhead",
+    "hw-overhead",
+    "ablations",
+    "discussion",
 ];
 
 /// Runs one experiment by id. `ablations` bundles the §IV-B fine-LRU

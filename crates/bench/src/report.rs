@@ -19,10 +19,7 @@ impl Row {
     pub fn new(label: impl Into<String>, values: Vec<(&str, f64)>) -> Self {
         Row {
             label: label.into(),
-            values: values
-                .into_iter()
-                .map(|(c, v)| (c.to_owned(), v))
-                .collect(),
+            values: values.into_iter().map(|(c, v)| (c.to_owned(), v)).collect(),
         }
     }
 
@@ -104,6 +101,38 @@ impl Experiment {
         }
         out
     }
+
+    /// Renders the experiment as a JSON object: id, title, paper
+    /// reference, and rows as `{label, values: {column: value}}`.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        use std::collections::BTreeMap;
+
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let values: BTreeMap<String, Value> = row
+                    .values
+                    .iter()
+                    .map(|(c, v)| (c.clone(), Value::Number(*v)))
+                    .collect();
+                let mut obj = BTreeMap::new();
+                obj.insert("label".to_owned(), Value::from(row.label.as_str()));
+                obj.insert("values".to_owned(), Value::Object(values));
+                Value::Object(obj)
+            })
+            .collect();
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_owned(), Value::from(self.id.as_str()));
+        obj.insert("title".to_owned(), Value::from(self.title.as_str()));
+        obj.insert(
+            "paper_reference".to_owned(),
+            Value::from(self.paper_reference.as_str()),
+        );
+        obj.insert("rows".to_owned(), Value::Array(rows));
+        Value::Object(obj).to_json()
+    }
 }
 
 impl fmt::Display for Experiment {
@@ -180,6 +209,17 @@ mod tests {
     fn empty_experiment_renders() {
         let e = Experiment::new("e", "t", "p");
         assert!(e.to_string().contains("no rows"));
+    }
+
+    #[test]
+    fn json_renders_all_fields() {
+        let mut e = Experiment::new("fig0", "test \"figure\"", "n/a");
+        e.push(Row::new("alpha", vec![("lat", 1.5)]));
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            r#"{"id":"fig0","paper_reference":"n/a","rows":[{"label":"alpha","values":{"lat":1.5}}],"title":"test \"figure\""}"#
+        );
     }
 
     #[test]

@@ -29,8 +29,14 @@ impl BuddyGeometry {
     /// Panics unless both sizes are powers of two with
     /// `min_block <= heap_size`.
     pub fn new(heap_base: u32, heap_size: u32, min_block: u32) -> Self {
-        assert!(heap_size.is_power_of_two(), "heap size must be a power of two");
-        assert!(min_block.is_power_of_two(), "min block must be a power of two");
+        assert!(
+            heap_size.is_power_of_two(),
+            "heap size must be a power of two"
+        );
+        assert!(
+            min_block.is_power_of_two(),
+            "min block must be a power of two"
+        );
         assert!(min_block <= heap_size, "min block exceeds heap size");
         assert!(min_block >= 4, "min block must be at least 4 bytes");
         let depth = (heap_size / min_block).trailing_zeros();
@@ -164,7 +170,10 @@ mod tests {
     fn straw_man_metadata_is_512kb() {
         // §II-B: vanilla buddy over 32 MB needs 512 KB of metadata.
         let bytes = paper_straw_man().metadata_bytes();
-        assert!((512 << 10..=(512 << 10) + 4).contains(&bytes), "got {bytes}");
+        assert!(
+            (512 << 10..=(512 << 10) + 4).contains(&bytes),
+            "got {bytes}"
+        );
     }
 
     #[test]

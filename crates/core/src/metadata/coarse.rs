@@ -70,7 +70,8 @@ impl CoarseBufferStore {
     }
 
     fn window_len(&self) -> u32 {
-        self.buffer_bytes.min(self.bits.len_bytes().next_power_of_two())
+        self.buffer_bytes
+            .min(self.bits.len_bytes().next_power_of_two())
     }
 
     /// Ensures the metadata byte holding `idx` is buffered, charging
@@ -85,10 +86,7 @@ impl CoarseBufferStore {
     fn ensure(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32) {
         let byte = BitArray::byte_of(idx);
         let len = self.window_len();
-        if self.window_valid
-            && byte >= self.window_start
-            && byte < self.window_start + len
-        {
+        if self.window_valid && byte >= self.window_start && byte < self.window_start + len {
             self.stats.hits += 1;
             return;
         }

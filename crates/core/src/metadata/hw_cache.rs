@@ -196,7 +196,11 @@ mod tests {
         s.set(&mut ctx, 1, NodeState::Split); // word 0, dirty
         let _ = s.get(&mut ctx, 64); // word 4 → evicts dirty word 0
         assert_eq!(s.stats().bytes_written, 8);
-        assert_eq!(s.peek(1), NodeState::Split, "write-back preserved the value");
+        assert_eq!(
+            s.peek(1),
+            NodeState::Split,
+            "write-back preserved the value"
+        );
     }
 
     #[test]

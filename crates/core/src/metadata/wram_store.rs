@@ -78,7 +78,11 @@ mod tests {
         assert_eq!(store.peek(5), NodeState::Allocated);
         // Two accesses, ACCESS_INSTRS each.
         assert_eq!(dpu.total_stats().instrs, 2 * ACCESS_INSTRS);
-        assert_eq!(dpu.traffic().total_bytes(), 0, "WRAM store never touches DRAM");
+        assert_eq!(
+            dpu.traffic().total_bytes(),
+            0,
+            "WRAM store never touches DRAM"
+        );
     }
 
     #[test]

@@ -182,7 +182,8 @@ impl PimMalloc {
         // WRAM budget: backend metadata buffer + per-tasklet bitmaps.
         match config.backend {
             BackendKind::Coarse { buffer_bytes } => {
-                dpu.wram_mut().reserve("buddy metadata buffer", buffer_bytes)?;
+                dpu.wram_mut()
+                    .reserve("buddy metadata buffer", buffer_bytes)?;
             }
             BackendKind::FineLru {
                 entries,
@@ -201,7 +202,8 @@ impl PimMalloc {
             }
         }
         let bitmap_bytes: u32 = caches.iter().map(ThreadCache::bitmap_wram_bytes).sum();
-        dpu.wram_mut().reserve("thread cache bitmaps", bitmap_bytes)?;
+        dpu.wram_mut()
+            .reserve("thread cache bitmaps", bitmap_bytes)?;
 
         let store = match config.backend {
             BackendKind::Coarse { buffer_bytes } => {
@@ -217,7 +219,9 @@ impl PimMalloc {
             BackendKind::LineCache {
                 capacity_bytes,
                 line_bytes,
-            } => MetadataBackend::line_cache(&geometry, config.meta_base, capacity_bytes, line_bytes),
+            } => {
+                MetadataBackend::line_cache(&geometry, config.meta_base, capacity_bytes, line_bytes)
+            }
         };
         let mut backend = BuddyAllocator::new(geometry, store).with_policy(config.descent);
         let backend_mutex = dpu.alloc_mutex();

@@ -196,7 +196,12 @@ mod tests {
             "16 contending tasklets must busy-wait"
         );
         // Contention dominates: busy-wait exceeds run time (Figure 8(b)).
-        assert!(s.busy_wait > s.run, "busy-wait {} run {}", s.busy_wait, s.run);
+        assert!(
+            s.busy_wait > s.run,
+            "busy-wait {} run {}",
+            s.busy_wait,
+            s.run
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl ThreadCache {
             prev = c;
         }
         ThreadCache {
-            pools: size_classes.iter().map(|&c| SizeClassPool::new(c)).collect(),
+            pools: size_classes
+                .iter()
+                .map(|&c| SizeClassPool::new(c))
+                .collect(),
         }
     }
 

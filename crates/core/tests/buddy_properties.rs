@@ -127,10 +127,7 @@ fn run_sequence(heap_size: u32, min_block: u32, ops: &[Op]) {
                 let expect = reference.alloc(*size);
                 match (got, expect) {
                     (Ok(addr), Some(ref_addr)) => {
-                        assert_eq!(
-                            addr, ref_addr,
-                            "identical policies must place identically"
-                        );
+                        assert_eq!(addr, ref_addr, "identical policies must place identically");
                         let block = geometry.block_for_size(*size).unwrap();
                         assert_eq!(
                             (addr - geometry.heap_base()) % block,

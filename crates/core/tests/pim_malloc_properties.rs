@@ -55,9 +55,7 @@ fn run(n_tasklets: usize, prepopulate: bool, hw: bool, ops: &[Op]) {
                     Ok(addr) => {
                         let occupied = size.next_power_of_two().max(16);
                         // No overlap with any live allocation.
-                        if let Some((&prev_addr, &prev_len)) =
-                            spans.range(..=addr).next_back()
-                        {
+                        if let Some((&prev_addr, &prev_len)) = spans.range(..=addr).next_back() {
                             assert!(
                                 prev_addr + prev_len <= addr || prev_addr == addr,
                                 "overlap: {prev_addr:#x}+{prev_len} vs {addr:#x}"

@@ -23,7 +23,10 @@ fn all_stores() -> Vec<(&'static str, Box<dyn MetadataStore>)> {
             "hw-cache",
             Box::new(HwCacheStore::new(NODES, 0, BuddyCacheConfig::default())),
         ),
-        ("line-cache", Box::new(LineCacheStore::new(NODES, 0, 128, 64))),
+        (
+            "line-cache",
+            Box::new(LineCacheStore::new(NODES, 0, 128, 64)),
+        ),
     ]
 }
 

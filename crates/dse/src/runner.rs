@@ -1,9 +1,7 @@
 //! Executes one design strategy and reports the latency split.
 
 use pim_malloc::{PimAllocator, StrawManAllocator, StrawManConfig};
-use pim_sim::{
-    DpuConfig, DpuSim, HostConfig, HostSim, TransferDirection, TransferModel,
-};
+use pim_sim::{DpuConfig, DpuSim, HostConfig, HostSim, TransferDirection, TransferModel};
 use serde::{Deserialize, Serialize};
 
 use crate::strategy::Strategy;
@@ -240,13 +238,7 @@ mod tests {
             .iter()
             .map(|&s| run_strategy(s, &cfg(512)))
             .collect();
-        let by = |s: Strategy| {
-            results
-                .iter()
-                .find(|r| r.strategy == s)
-                .unwrap()
-                .total_secs
-        };
+        let by = |s: Strategy| results.iter().find(|r| r.strategy == s).unwrap().total_secs;
         let best = by(Strategy::PimMetaPimExec);
         let gray = by(Strategy::HostMetaHostExec);
         let black = by(Strategy::HostMetaPimExec);
@@ -289,7 +281,10 @@ mod tests {
         let rows = sweep(&DseConfig::default(), &[1, 16, 512]);
         assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| r.total_secs > 0.0));
-        assert!((rows[0].transfer_fraction() - rows[0].transfer_secs / rows[0].total_secs).abs() < 1e-12);
+        assert!(
+            (rows[0].transfer_fraction() - rows[0].transfer_secs / rows[0].total_secs).abs()
+                < 1e-12
+        );
     }
 
     #[test]

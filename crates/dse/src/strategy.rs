@@ -32,10 +32,7 @@ impl Strategy {
 
     /// True if the buddy algorithm runs on the host CPU.
     pub fn host_executed(self) -> bool {
-        matches!(
-            self,
-            Strategy::HostMetaHostExec | Strategy::PimMetaHostExec
-        )
+        matches!(self, Strategy::HostMetaHostExec | Strategy::PimMetaHostExec)
     }
 
     /// True if metadata and execution sit on different sides, forcing

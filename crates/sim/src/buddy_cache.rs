@@ -36,7 +36,10 @@ impl BuddyCacheConfig {
     ///
     /// Panics if `bytes` is not a positive multiple of 4.
     pub fn with_capacity_bytes(bytes: u32) -> Self {
-        assert!(bytes >= 4 && bytes.is_multiple_of(4), "capacity must be a multiple of 4 B");
+        assert!(
+            bytes >= 4 && bytes.is_multiple_of(4),
+            "capacity must be a multiple of 4 B"
+        );
         BuddyCacheConfig {
             entries: (bytes / 4) as usize,
             bytes_per_entry: 4,
@@ -355,8 +358,8 @@ mod tests {
             bc.lookup(1);
         }
         bc.lookup(2); // miss
-        // 9 hits, 2 misses (initial fill lookup was not performed here,
-        // only the explicit ones: 9 hits + 1 miss + ... recount below).
+                      // 9 hits, 2 misses (initial fill lookup was not performed here,
+                      // only the explicit ones: 9 hits + 1 miss + ... recount below).
         let s = bc.stats();
         assert_eq!(s.hits, 9);
         assert_eq!(s.misses, 1);

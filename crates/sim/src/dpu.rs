@@ -249,7 +249,11 @@ impl TaskletCtx<'_> {
         s.instrs += n;
         self.dpu.clocks[self.tid] += Cycles(n * interval);
         if let Some(trace) = &mut self.dpu.trace {
-            trace.record(self.tid, self.dpu.clocks[self.tid], TraceEvent::Instrs { count: n });
+            trace.record(
+                self.tid,
+                self.dpu.clocks[self.tid],
+                TraceEvent::Instrs { count: n },
+            );
         }
     }
 

@@ -306,7 +306,10 @@ mod tests {
         let hot = h.parallel_for(1, 1_000_000, 0.0);
         h.reset();
         let cold = h.parallel_for(1, 1_000_000, 1.0);
-        assert!(cold > hot * 10.0, "DRAM misses must dominate: {cold} vs {hot}");
+        assert!(
+            cold > hot * 10.0,
+            "DRAM misses must dominate: {cold} vs {hot}"
+        );
     }
 
     #[test]

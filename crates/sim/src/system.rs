@@ -84,9 +84,9 @@ impl PimSystem {
 
     /// Sum of all tasklet stats across all DPUs.
     pub fn total_stats(&self) -> TaskletStats {
-        self.dpus
-            .iter()
-            .fold(TaskletStats::default(), |acc, d| acc.merged(&d.total_stats()))
+        self.dpus.iter().fold(TaskletStats::default(), |acc, d| {
+            acc.merged(&d.total_stats())
+        })
     }
 
     /// Aggregate MRAM↔WRAM traffic across all DPUs.

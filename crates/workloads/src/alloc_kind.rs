@@ -25,8 +25,11 @@ pub enum AllocatorKind {
 
 impl AllocatorKind {
     /// The three headline designs of Figures 15, 17 and 18.
-    pub const HEADLINE: [AllocatorKind; 3] =
-        [AllocatorKind::StrawMan, AllocatorKind::Sw, AllocatorKind::HwSw];
+    pub const HEADLINE: [AllocatorKind; 3] = [
+        AllocatorKind::StrawMan,
+        AllocatorKind::Sw,
+        AllocatorKind::HwSw,
+    ];
 
     /// Short label used in result tables.
     pub fn label(self) -> &'static str {
@@ -128,7 +131,11 @@ mod tests {
     fn headline_list_matches_paper_figures() {
         assert_eq!(
             AllocatorKind::HEADLINE,
-            [AllocatorKind::StrawMan, AllocatorKind::Sw, AllocatorKind::HwSw]
+            [
+                AllocatorKind::StrawMan,
+                AllocatorKind::Sw,
+                AllocatorKind::HwSw
+            ]
         );
     }
 }

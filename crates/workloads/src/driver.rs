@@ -120,7 +120,9 @@ pub fn drive(
             Request::Free { slot } => {
                 if let Some(addr) = slots[tid][slot].take() {
                     let mut ctx = dpu.ctx(tid);
-                    alloc.pim_free(&mut ctx, addr).expect("driver frees live slots");
+                    alloc
+                        .pim_free(&mut ctx, addr)
+                        .expect("driver frees live slots");
                 }
             }
         }
@@ -164,11 +166,7 @@ mod tests {
     #[test]
     fn free_of_empty_slot_is_noop() {
         let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
-        let r = drive(
-            &mut dpu,
-            alloc.as_mut(),
-            &[vec![Request::Free { slot: 0 }]],
-        );
+        let r = drive(&mut dpu, alloc.as_mut(), &[vec![Request::Free { slot: 0 }]]);
         assert_eq!(r.malloc_latencies.len(), 0);
     }
 
@@ -176,7 +174,10 @@ mod tests {
     fn slot_reuse_frees_previous_allocation() {
         let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
         let stream: Vec<Request> = (0..100)
-            .map(|_| Request::Malloc { size: 4096, slot: 0 })
+            .map(|_| Request::Malloc {
+                size: 4096,
+                slot: 0,
+            })
             .collect();
         let r = drive(&mut dpu, alloc.as_mut(), &[stream]);
         // 100 allocations through one slot never exhaust a 1 MB heap.
@@ -188,7 +189,10 @@ mod tests {
     fn oom_is_counted_not_fatal() {
         let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 1);
         let stream: Vec<Request> = (0..40)
-            .map(|i| Request::Malloc { size: 64 << 10, slot: i })
+            .map(|i| Request::Malloc {
+                size: 64 << 10,
+                slot: i,
+            })
             .collect();
         let r = drive(&mut dpu, alloc.as_mut(), &[stream]);
         assert!(r.oom_count > 0, "1 MB heap cannot hold 40 × 64 KB");

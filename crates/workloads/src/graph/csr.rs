@@ -151,8 +151,9 @@ mod tests {
         // cycles.
         let mut costs = Vec::new();
         for scale in [100usize, 1000, 10000] {
-            let edge_list: Vec<(u32, u32)> =
-                (0..scale).map(|i| ((i % 50) as u32, (i % 49) as u32)).collect();
+            let edge_list: Vec<(u32, u32)> = (0..scale)
+                .map(|i| ((i % 50) as u32, (i % 49) as u32))
+                .collect();
             let mut d = dpu();
             let mut g = CsrGraph::build(50, &edge_list);
             let mut ctx = d.ctx(0);

@@ -78,10 +78,7 @@ impl LinkedListGraph {
             let chunk = alloc.pim_malloc(ctx, CHUNK_BYTES)?;
             // Initialize the header: next = old head, count = 0.
             let next = self.heads[ui];
-            ctx.mram_write_bytes(
-                chunk,
-                &[next.to_le_bytes(), 0u32.to_le_bytes()].concat(),
-            );
+            ctx.mram_write_bytes(chunk, &[next.to_le_bytes(), 0u32.to_le_bytes()].concat());
             self.heads[ui] = chunk;
             self.head_counts[ui] = 0;
             // Write back the node-table entry.
@@ -158,7 +155,11 @@ mod tests {
             let mut ctx = dpu.ctx(0);
             g.insert(&mut ctx, alloc.as_mut(), 0, v).unwrap();
         }
-        assert_eq!(alloc.alloc_stats().total_mallocs(), 2, "62+5 edges need 2 chunks");
+        assert_eq!(
+            alloc.alloc_stats().total_mallocs(),
+            2,
+            "62+5 edges need 2 chunks"
+        );
         let edges = g.read_back(dpu.mram());
         assert_eq!(edges.len(), (EDGES_PER_CHUNK + 5) as usize);
     }
@@ -177,7 +178,10 @@ mod tests {
         let mut got = g.read_back(dpu.mram());
         got.sort_unstable();
         expect.sort_unstable();
-        assert_eq!(got, expect, "MRAM image must contain exactly the inserted edges");
+        assert_eq!(
+            got, expect,
+            "MRAM image must contain exactly the inserted edges"
+        );
     }
 
     #[test]

@@ -134,11 +134,7 @@ fn workload(cfg: &GraphUpdateConfig) -> UpdateWorkload {
 }
 
 /// Per-DPU edge streams for one phase: `streams[tasklet] = [(local_u, v)]`.
-fn dpu_streams(
-    edges: &[(u32, u32)],
-    dpu: usize,
-    cfg: &GraphUpdateConfig,
-) -> Vec<Vec<(u32, u32)>> {
+fn dpu_streams(edges: &[(u32, u32)], dpu: usize, cfg: &GraphUpdateConfig) -> Vec<Vec<(u32, u32)>> {
     let mut streams = vec![Vec::new(); cfg.n_tasklets];
     for &(u, v) in edges {
         let (d, t, local) = place(u, cfg.n_dpus, cfg.n_tasklets);
@@ -252,9 +248,7 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
                     let local_edges: Vec<(u32, u32)> = base.iter().flatten().copied().collect();
                     CsrGraph::build(local_nodes, &local_edges)
                 };
-                let mut alloc = cfg
-                    .allocator
-                    .build(&mut dpu, cfg.n_tasklets, cfg.heap_size);
+                let mut alloc = cfg.allocator.build(&mut dpu, cfg.n_tasklets, cfg.heap_size);
                 enum Repr {
                     Ll(LinkedListGraph),
                     Va(VarArrayGraph),
@@ -313,13 +307,15 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
         }
     };
 
-    let outcomes: Vec<DpuOutcome> = crossbeam::thread::scope(|scope| {
+    let outcomes: Vec<DpuOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.n_dpus)
-            .map(|idx| scope.spawn(move |_| run_one_dpu(idx)))
+            .map(|idx| scope.spawn(move || run_one_dpu(idx)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("DPU sim")).collect()
-    })
-    .expect("DPU simulation thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("DPU sim"))
+            .collect()
+    });
 
     let mut slowest = Cycles::ZERO;
     let mut breakdown = TaskletStats::default();

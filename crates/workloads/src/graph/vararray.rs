@@ -215,7 +215,10 @@ mod tests {
         }
         // 2000 edges → 8192 B array: beyond the 2 KB size class.
         assert!(g.max_array_bytes() >= 8192);
-        assert!(alloc.alloc_stats().bypass > 0, "big arrays must bypass the cache");
+        assert!(
+            alloc.alloc_stats().bypass > 0,
+            "big arrays must bypass the cache"
+        );
     }
 
     #[test]
@@ -244,6 +247,9 @@ mod tests {
         let t0 = ctx.now();
         ll.insert(&mut ctx, a2.as_mut(), 0, 99).unwrap();
         let ll_cost = (ctx.now() - t0).0;
-        assert!(va_cost < ll_cost, "vararray {va_cost} vs linked list {ll_cost}");
+        assert!(
+            va_cost < ll_cost,
+            "vararray {va_cost} vs linked list {ll_cost}"
+        );
     }
 }

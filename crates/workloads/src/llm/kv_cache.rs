@@ -52,9 +52,7 @@ pub struct MaxBatchResult {
 /// fragmentation and metadata overheads are captured.
 pub fn max_batch_size(scheme: KvScheme, cfg: &LlmConfig, trace: &[RequestSpec]) -> MaxBatchResult {
     let max_batch = match scheme {
-        KvScheme::Static => {
-            (u64::from(cfg.heap_bytes) / cfg.static_bytes_per_request()) as usize
-        }
+        KvScheme::Static => (u64::from(cfg.heap_bytes) / cfg.static_bytes_per_request()) as usize,
         KvScheme::Dynamic(kind) => {
             let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
             let mut alloc = kind.build(&mut dpu, 16, cfg.heap_bytes.next_power_of_two());
@@ -129,8 +127,16 @@ mod tests {
             st.max_batch
         );
         // Magnitudes in the paper's 0–200 range.
-        assert!((40..=120).contains(&st.max_batch), "static {}", st.max_batch);
-        assert!((80..=250).contains(&dy.max_batch), "dynamic {}", dy.max_batch);
+        assert!(
+            (40..=120).contains(&st.max_batch),
+            "static {}",
+            st.max_batch
+        );
+        assert!(
+            (80..=250).contains(&dy.max_batch),
+            "dynamic {}",
+            dy.max_batch
+        );
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
             .collect();
         let (st, straw, sw, hw) = (&results[0], &results[1], &results[2], &results[3]);
         assert!(st.tpot_p50_ms <= sw.tpot_p50_ms);
-        assert!(straw.tpot_p50_ms > sw.tpot_p50_ms, "straw-man TPOT must be worst");
+        assert!(
+            straw.tpot_p50_ms > sw.tpot_p50_ms,
+            "straw-man TPOT must be worst"
+        );
         assert!(hw.tpot_p99_ms <= sw.tpot_p99_ms);
         // TPOT in a plausible LLM-serving range (paper: 16–80 ms).
         assert!(st.tpot_p50_ms > 5.0 && st.tpot_p50_ms < 200.0);

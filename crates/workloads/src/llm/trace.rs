@@ -43,7 +43,12 @@ fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64, min: u32, max: u32) -> u32 {
 /// `rate_per_s`, with lengths clipped to `max_seq_len`.
 ///
 /// Deterministic for a given `seed`.
-pub fn sharegpt_like_trace(n: usize, rate_per_s: f64, max_seq_len: u32, seed: u64) -> Vec<RequestSpec> {
+pub fn sharegpt_like_trace(
+    n: usize,
+    rate_per_s: f64,
+    max_seq_len: u32,
+    seed: u64,
+) -> Vec<RequestSpec> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
@@ -118,6 +123,8 @@ mod tests {
     fn fixed_trace_matches_methodology() {
         let t = fixed_trace(100, 10.0);
         assert_eq!(t.len(), 100);
-        assert!(t.iter().all(|r| r.prompt_tokens == 128 && r.output_tokens == 256));
+        assert!(t
+            .iter()
+            .all(|r| r.prompt_tokens == 128 && r.output_tokens == 256));
     }
 }

@@ -135,8 +135,7 @@ pub fn run_micro(kind: AllocatorKind, cfg: &MicroConfig) -> MicroResult {
 /// cache size (Figure 16's sensitivity sweep).
 pub fn run_micro_with_cache(cfg: &MicroConfig, cache: BuddyCacheConfig) -> MicroResult {
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(cfg.n_tasklets));
-    let mut alloc =
-        AllocatorKind::hw_sw_with_cache(&mut dpu, cfg.n_tasklets, cfg.heap_size, cache);
+    let mut alloc = AllocatorKind::hw_sw_with_cache(&mut dpu, cfg.n_tasklets, cfg.heap_size, cache);
     let r = drive(&mut dpu, alloc.as_mut(), &streams(cfg));
     let (meta, bc) = allocator_meta(alloc.as_ref());
     finish_result(AllocatorKind::HwSw, &dpu, meta, bc, r)

@@ -26,7 +26,10 @@ fn main() {
          strategy whose latency is flat in the number of PIM cores — \
          metadata stays bank-local and every core allocates in parallel."
     );
-    let r = run_strategy(Strategy::PimMetaPimExec, &DseConfig::default().with_dpus(512));
+    let r = run_strategy(
+        Strategy::PimMetaPimExec,
+        &DseConfig::default().with_dpus(512),
+    );
     println!(
         "At 512 cores it spends {:.1} ms total, {:.0}% of it in compute.",
         r.total_secs * 1e3,

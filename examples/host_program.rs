@@ -42,7 +42,8 @@ fn main() {
         let mut g = LinkedListGraph::new(4096 / N_DPUS as u32 + 1);
         for (i, &(u, v)) in partitions[idx].iter().enumerate() {
             let mut ctx = dpu.ctx(i % N_TASKLETS);
-            g.insert(&mut ctx, alloc.as_mut(), u, v).expect("heap sized");
+            g.insert(&mut ctx, alloc.as_mut(), u, v)
+                .expect("heap sized");
         }
         // Leave a summary for the host at a well-known address.
         dpu.mram_mut().write_u64(0x0030_0000, g.edge_count());

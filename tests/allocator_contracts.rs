@@ -4,8 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use pim_malloc::{AllocError, PimAllocator};
-use pim_sim::{DpuConfig, DpuSim};
+use pim_malloc::{AllocError, BackendKind, PimAllocator, PimMalloc, PimMallocConfig};
+use pim_sim::{BuddyCacheConfig, DpuConfig, DpuSim};
 use pim_workloads::AllocatorKind;
 
 const KINDS: [AllocatorKind; 5] = [
@@ -132,7 +132,11 @@ fn oom_is_recoverable_not_fatal() {
 #[test]
 fn latency_ordering_straw_man_worst_for_small_allocs() {
     let mut means = Vec::new();
-    for kind in [AllocatorKind::StrawMan, AllocatorKind::Sw, AllocatorKind::HwSw] {
+    for kind in [
+        AllocatorKind::StrawMan,
+        AllocatorKind::Sw,
+        AllocatorKind::HwSw,
+    ] {
         let (mut dpu, mut alloc) = setup(kind, 1);
         for _ in 0..64 {
             let mut ctx = dpu.ctx(0);
@@ -144,6 +148,44 @@ fn latency_ordering_straw_man_worst_for_small_allocs() {
         means[0] > means[1] && means[1] >= means[2],
         "expected straw-man > SW >= HW/SW, got {means:?}"
     );
+}
+
+/// Workspace-wiring guard: every metadata backend `pim_malloc` exposes
+/// must construct and serve a round-trip on a default `DpuSim`. If a
+/// manifest or feature change drops a backend's supporting code, this
+/// test fails here rather than only in downstream binaries.
+#[test]
+fn every_backend_kind_constructs_on_default_sim() {
+    let backends = [
+        BackendKind::Coarse { buffer_bytes: 2048 },
+        BackendKind::FineLru {
+            entries: 64,
+            granule_bytes: 64,
+        },
+        BackendKind::HwCache {
+            cache: BuddyCacheConfig::default(),
+        },
+        BackendKind::LineCache {
+            capacity_bytes: 4096,
+            line_bytes: 64,
+        },
+    ];
+    for backend in backends {
+        let mut dpu = DpuSim::new(DpuConfig::default());
+        let config = PimMallocConfig {
+            backend,
+            ..PimMallocConfig::sw(dpu.config().n_tasklets)
+        };
+        let mut alloc = PimMalloc::init(&mut dpu, config)
+            .unwrap_or_else(|e| panic!("{backend:?} failed to init: {e}"));
+        let mut ctx = dpu.ctx(0);
+        let addr = alloc
+            .pim_malloc(&mut ctx, 256)
+            .unwrap_or_else(|e| panic!("{backend:?} failed to malloc: {e}"));
+        alloc
+            .pim_free(&mut ctx, addr)
+            .unwrap_or_else(|e| panic!("{backend:?} failed to free: {e}"));
+    }
 }
 
 #[test]

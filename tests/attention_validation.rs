@@ -57,8 +57,14 @@ fn both_models_scale_linearly_with_context() {
     // Both grow with context; the kernel grows at least as fast (its
     // per-byte compute term scales linearly while fixed overheads
     // shrink relatively).
-    assert!(a_scale > 1.2, "analytic must scale with context: x{a_scale:.2}");
-    assert!(m_scale > 1.2, "measured must scale with context: x{m_scale:.2}");
+    assert!(
+        a_scale > 1.2,
+        "analytic must scale with context: x{a_scale:.2}"
+    );
+    assert!(
+        m_scale > 1.2,
+        "measured must scale with context: x{m_scale:.2}"
+    );
     assert!(
         m_scale >= a_scale - 0.3,
         "kernel must not scale slower: x{m_scale:.2} vs x{a_scale:.2}"

@@ -6,14 +6,16 @@
 use pim_sim::{DpuConfig, DpuSim};
 use pim_workloads::graph::linked::LinkedListGraph;
 use pim_workloads::graph::vararray::VarArrayGraph;
-use pim_workloads::graph::{
-    generate_power_law, run_graph_update, GraphRepr, GraphUpdateConfig,
-};
+use pim_workloads::graph::{generate_power_law, run_graph_update, GraphRepr, GraphUpdateConfig};
 use pim_workloads::AllocatorKind;
 
 #[test]
 fn linked_list_mram_image_is_exact_under_every_allocator() {
-    for kind in [AllocatorKind::StrawMan, AllocatorKind::Sw, AllocatorKind::HwSw] {
+    for kind in [
+        AllocatorKind::StrawMan,
+        AllocatorKind::Sw,
+        AllocatorKind::HwSw,
+    ] {
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(8));
         let mut alloc = kind.build(&mut dpu, 8, 32 << 20);
         let graph = generate_power_law(256, 2400, 21);
@@ -43,7 +45,10 @@ fn vararray_mram_image_survives_grow_copies() {
         va.insert(&mut ctx, alloc.as_mut(), u, v).unwrap();
         expect.push((u, v));
     }
-    assert!(va.grow_count() > 10, "want many grow-copies to stress free/copy");
+    assert!(
+        va.grow_count() > 10,
+        "want many grow-copies to stress free/copy"
+    );
     let mut got = va.read_back(dpu.mram());
     got.sort_unstable();
     expect.sort_unstable();
@@ -86,7 +91,10 @@ fn partitioning_is_deterministic_across_runs() {
     };
     let a = run_graph_update(&cfg);
     let b = run_graph_update(&cfg);
-    assert_eq!(a.update_secs, b.update_secs, "simulation must be deterministic");
+    assert_eq!(
+        a.update_secs, b.update_secs,
+        "simulation must be deterministic"
+    );
     assert_eq!(a.total_mallocs, b.total_mallocs);
     assert_eq!(a.meta_bytes, b.meta_bytes);
 }

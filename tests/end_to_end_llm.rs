@@ -20,8 +20,7 @@ fn batch_capacity_is_conserved_by_memory_accounting() {
         .map(|r| cfg.dynamic_bytes_per_request(r.total_tokens()))
         .sum();
     assert!(used <= u64::from(cfg.heap_bytes.next_power_of_two()));
-    let with_next: u64 = used
-        + cfg.dynamic_bytes_per_request(trace[dy.max_batch].total_tokens());
+    let with_next: u64 = used + cfg.dynamic_bytes_per_request(trace[dy.max_batch].total_tokens());
     // Allow the allocator's own overheads (pre-population, rounding) a
     // margin: the next request must overflow the raw heap less ~3%.
     assert!(

@@ -53,7 +53,9 @@ fn virtual_time_is_deterministic() {
         let mut alloc = StrawManAllocator::init(&mut dpu, StrawManConfig::default());
         for i in 0..128 {
             let mut ctx = dpu.ctx(i % 16);
-            alloc.pim_malloc(&mut ctx, 32 + (i as u32 % 7) * 32).unwrap();
+            alloc
+                .pim_malloc(&mut ctx, 32 + (i as u32 % 7) * 32)
+                .unwrap();
         }
         (dpu.max_clock(), dpu.total_stats(), dpu.traffic())
     };

@@ -1,0 +1,172 @@
+//! Offline shim for `proptest`.
+//!
+//! The container image has no network access to crates.io, so this
+//! crate vendors the subset of the proptest API the workspace's
+//! property tests use: the `proptest!` test macro, `prop_assert*`,
+//! `prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`, integer/float
+//! range strategies, tuples, `prop_map`, and `collection::vec`.
+//!
+//! Semantics differ from upstream in two deliberate ways: case
+//! generation is deterministic (seeded from the test name, so runs are
+//! reproducible without a persistence file), and failing cases are
+//! reported without shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests.
+///
+/// Each function in the block normally carries `#[test]`; the example
+/// below omits it so the property can run as a doctest.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {case}/{}: {msg}", config.cases);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Reject the current case (skip it without failing) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::weighted($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::weighted(1u32, $strat)),+
+        ])
+    };
+}

@@ -1,0 +1,37 @@
+//! Offline shim for `serde`.
+//!
+//! The container image has no network access to crates.io, so this
+//! crate vendors the minimal subset of serde the workspace uses:
+//! `#[derive(Serialize, Deserialize)]` as marker derives. Nothing in
+//! the workspace performs actual serialization yet (`serde_json` is a
+//! sibling stub); when real serialization lands, this shim is the seam
+//! to swap for the upstream crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derive bounds are always satisfiable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for
+/// all types so derive bounds are always satisfiable.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of serde's `de` module for code that imports from it.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of serde's `ser` module for code that imports from it.
+pub mod ser {
+    pub use crate::Serialize;
+}

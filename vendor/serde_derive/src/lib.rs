@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The container image has no network access to crates.io, so the
+//! workspace vendors the minimal subset of the serde API it actually
+//! uses. The companion `serde` shim provides blanket impls of
+//! `Serialize`/`Deserialize` for every type, so these derives only need
+//! to exist as names — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,140 @@
+//! Offline shim for `serde_json`.
+//!
+//! The container image has no network access to crates.io. This crate
+//! provides a self-contained JSON value type and string writer so the
+//! workspace can emit machine-readable reports without the upstream
+//! crate. It does not implement serde-driven (de)serialization; build
+//! [`Value`] trees explicitly instead.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value: the usual six variants, with object keys ordered for
+/// deterministic output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (serialized via `f64`; non-finite maps to `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Render this value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) if n.is_finite() => {
+                use fmt::Write;
+                let _ = write!(out, "{n}");
+            }
+            Value::Number(_) => out.push_str("null"),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_owned(), Value::from("pim\"malloc"));
+        obj.insert(
+            "xs".to_owned(),
+            Value::Array(vec![Value::from(1.5), Value::Null, Value::from(true)]),
+        );
+        assert_eq!(
+            Value::Object(obj).to_json(),
+            r#"{"name":"pim\"malloc","xs":[1.5,null,true]}"#
+        );
+    }
+}
