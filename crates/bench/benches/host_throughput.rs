@@ -1,0 +1,131 @@
+//! Host-side throughput benches for the two PR-level optimizations:
+//!
+//! * `churn_1m_ops` — 1,000,000 alloc/free operations through one
+//!   PIM-malloc instance, exercising the O(1) frame-table free routing
+//!   on the host (the path that used to walk a `BTreeMap` oracle).
+//!   ns/iter ÷ 1e6 gives host nanoseconds per allocator operation.
+//! * `fig15_64dpu/{serial,parallel}` — a Figure 15-style 64-DPU
+//!   microbenchmark sweep executed with the serial `run_per_dpu` loop
+//!   vs the scoped-thread `run_per_dpu_parallel` engine. The printed
+//!   speedup line makes wall-clock regressions (or a missing
+//!   parallelism win) visible straight from CI logs; expect roughly
+//!   the machine's core count on multicore hosts.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
+use pim_sim::{DpuConfig, DpuSim, PimSystem};
+use pim_workloads::driver::{drive, Request};
+use pim_workloads::AllocatorKind;
+
+const CHURN_OPS: usize = 1_000_000;
+const N_DPUS: usize = 64;
+
+/// Runs `CHURN_OPS` total operations: mallocs through a sliding window
+/// of 64 live slots per tasklet (freeing the oldest once full), sizes
+/// cycling through every size class plus a bypass.
+fn churn() -> u64 {
+    let n_tasklets = 16;
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(n_tasklets));
+    let mut pm = PimMalloc::init(&mut dpu, PimMallocConfig::sw(n_tasklets)).expect("init");
+    let sizes = [16u32, 48, 100, 256, 700, 1500, 2048, 4096];
+    let mut windows: Vec<Vec<u32>> = vec![Vec::new(); n_tasklets];
+    let mut ops = 0usize;
+    let mut i = 0usize;
+    while ops < CHURN_OPS {
+        let tid = i % n_tasklets;
+        if windows[tid].len() >= 64 {
+            let victim = windows[tid].remove(0);
+            let mut ctx = dpu.ctx(tid);
+            pm.pim_free(&mut ctx, victim)
+                .expect("window frees are live");
+            ops += 1;
+        }
+        let size = sizes[i % sizes.len()];
+        let mut ctx = dpu.ctx(tid);
+        let addr = pm.pim_malloc(&mut ctx, size).expect("heap outlives window");
+        windows[tid].push(addr);
+        ops += 1;
+        i += 1;
+    }
+    pm.alloc_stats().total_mallocs()
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // Report host ops/sec once, outside the timed samples, so the
+    // number is greppable in CI logs.
+    let t0 = Instant::now();
+    let mallocs = churn();
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "host_throughput/churn_1m_ops: {:.0} host ops/sec ({mallocs} mallocs)",
+        CHURN_OPS as f64 / secs
+    );
+    let mut g = c.benchmark_group("host_throughput");
+    g.sample_size(2);
+    g.bench_function("churn_1m_ops", |b| b.iter(churn));
+    g.finish();
+}
+
+/// One DPU's share of a Figure 15-style cell: 16 tasklets × 32
+/// allocations per size, alloc/free-paired so the run self-cleans.
+fn fig15_cell(dpu: &mut DpuSim) {
+    let n_tasklets = 16;
+    let mut alloc = AllocatorKind::Sw.build(dpu, n_tasklets, 32 << 20);
+    let streams: Vec<Vec<Request>> = (0..n_tasklets)
+        .map(|_| {
+            let mut s = Vec::new();
+            for (slot, &size) in [32u32, 256, 4096].iter().enumerate() {
+                for _ in 0..32 {
+                    s.push(Request::Malloc { size, slot });
+                    s.push(Request::Free { slot });
+                }
+            }
+            s
+        })
+        .collect();
+    drive(dpu, alloc.as_mut(), &streams);
+}
+
+fn bench_figure_run(c: &mut Criterion) {
+    let dpu_config = || DpuConfig::default().with_tasklets(16);
+    // One untimed comparison with explicit wall clocks for the logs.
+    let t0 = Instant::now();
+    let mut sys = PimSystem::new(N_DPUS, dpu_config());
+    sys.run_per_dpu(|_, dpu| fig15_cell(dpu));
+    let serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut sys = PimSystem::new(N_DPUS, dpu_config());
+    sys.run_per_dpu_parallel(|_, dpu| fig15_cell(dpu));
+    let parallel = t0.elapsed().as_secs_f64();
+    println!(
+        "host_throughput/fig15_64dpu: serial {serial:.3}s, parallel {parallel:.3}s, \
+         speedup {:.2}x over {} worker(s)",
+        serial / parallel,
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+
+    let mut g = c.benchmark_group("fig15_64dpu");
+    g.sample_size(2);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut sys = PimSystem::new(N_DPUS, dpu_config());
+            sys.run_per_dpu(|_, dpu| fig15_cell(dpu));
+            sys.kernel_finish()
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            let mut sys = PimSystem::new(N_DPUS, dpu_config());
+            sys.run_per_dpu_parallel(|_, dpu| fig15_cell(dpu));
+            sys.kernel_finish()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(host_throughput, bench_churn, bench_figure_run);
+criterion_main!(host_throughput);

@@ -1,5 +1,11 @@
 //! Dynamic-graph figures: 3(c), 11, and 17.
+//!
+//! Each `run_graph_update` call is an independent multi-DPU simulation
+//! (itself parallel over DPUs); the figure-level sweeps fan the calls
+//! out with [`pim_sim::parallel_indexed`] and assemble rows from the
+//! index-ordered results.
 
+use pim_sim::parallel_indexed;
 use pim_workloads::graph::{run_graph_update, GraphRepr, GraphUpdateConfig};
 use pim_workloads::AllocatorKind;
 
@@ -33,31 +39,33 @@ pub fn fig3c(quick: bool) -> Experiment {
         ("medium", base.base_edges),
         ("large", base.base_edges * 4),
     ];
-    let mut static_small = None;
-    for repr in [GraphRepr::StaticCsr, GraphRepr::LinkedList] {
-        let mut values = Vec::new();
-        for (name, base_edges) in sizes {
-            // Node count stays fixed; "size" is the pre-update edge
-            // count, as in the paper's small/medium/large sweep.
-            let cfg = GraphUpdateConfig {
-                repr,
-                base_edges,
-                allocator: AllocatorKind::Sw,
-                ..base
-            };
-            let r = run_graph_update(&cfg);
-            let per_edge_us = r.update_secs * 1e6 / cfg.new_edges as f64;
-            if static_small.is_none() {
-                static_small = Some(per_edge_us);
-            }
-            values.push((
-                name.to_owned(),
-                per_edge_us / static_small.expect("set on first iteration"),
-            ));
-        }
+    let reprs = [GraphRepr::StaticCsr, GraphRepr::LinkedList];
+    // Node count stays fixed; "size" is the pre-update edge count, as
+    // in the paper's small/medium/large sweep.
+    let per_edge_us = parallel_indexed(reprs.len() * sizes.len(), |i| {
+        let cfg = GraphUpdateConfig {
+            repr: reprs[i / sizes.len()],
+            base_edges: sizes[i % sizes.len()].1,
+            allocator: AllocatorKind::Sw,
+            ..base
+        };
+        run_graph_update(&cfg).update_secs * 1e6 / cfg.new_edges as f64
+    });
+    // Normalize to the (static, small) point, as the paper does.
+    let static_small = per_edge_us[0];
+    for (ri, repr) in reprs.into_iter().enumerate() {
         e.push(Row {
             label: repr.label().to_owned(),
-            values,
+            values: sizes
+                .iter()
+                .enumerate()
+                .map(|(si, &(name, _))| {
+                    (
+                        name.to_owned(),
+                        per_edge_us[ri * sizes.len() + si] / static_small,
+                    )
+                })
+                .collect(),
         });
     }
     e
@@ -73,12 +81,15 @@ pub fn fig11(quick: bool) -> Experiment {
         "~93% of requests frontend-serviced; backend still ~68% of latency",
     );
     let base = scaled(quick);
-    for repr in [GraphRepr::LinkedList, GraphRepr::VarArray] {
-        let r = run_graph_update(&GraphUpdateConfig {
-            repr,
+    let reprs = [GraphRepr::LinkedList, GraphRepr::VarArray];
+    let runs = parallel_indexed(reprs.len(), |i| {
+        run_graph_update(&GraphUpdateConfig {
+            repr: reprs[i],
             allocator: AllocatorKind::Sw,
             ..base
-        });
+        })
+    });
+    for (repr, r) in reprs.into_iter().zip(runs) {
         e.push(Row::new(
             repr.label(),
             vec![
@@ -122,10 +133,25 @@ pub fn fig17(quick: bool) -> Experiment {
          straw-man loses to static; HW/SW moves ~30% less DRAM than SW",
     );
     let base = scaled(quick);
-    let static_r = run_graph_update(&GraphUpdateConfig {
-        repr: GraphRepr::StaticCsr,
-        ..base
+    // One static run plus every (representation, allocator) pair, all
+    // independent simulations: fan out, then assemble in paper order.
+    let grid: Vec<(GraphRepr, AllocatorKind)> =
+        std::iter::once((GraphRepr::StaticCsr, base.allocator))
+            .chain(
+                [GraphRepr::LinkedList, GraphRepr::VarArray]
+                    .into_iter()
+                    .flat_map(|repr| AllocatorKind::HEADLINE.into_iter().map(move |k| (repr, k))),
+            )
+            .collect();
+    let runs = parallel_indexed(grid.len(), |i| {
+        let (repr, allocator) = grid[i];
+        run_graph_update(&GraphUpdateConfig {
+            repr,
+            allocator,
+            ..base
+        })
     });
+    let static_r = &runs[0];
     let (s_run, s_busy, s_mem, s_etc) = static_r.breakdown.fractions();
     e.push(Row::new(
         "Static (CSR)",
@@ -139,41 +165,34 @@ pub fn fig17(quick: bool) -> Experiment {
         ],
     ));
     let mut sw_meta = None;
-    for repr in [GraphRepr::LinkedList, GraphRepr::VarArray] {
-        for kind in AllocatorKind::HEADLINE {
-            let r = run_graph_update(&GraphUpdateConfig {
-                repr,
-                allocator: kind,
-                ..base
-            });
-            let (run, busy, mem, etc) = r.breakdown.fractions();
-            let malloc_p50 = {
-                let mut v = r.per_tasklet_malloc_us.clone();
-                v.sort_by(f64::total_cmp);
-                v.get(v.len() / 2).copied().unwrap_or(0.0)
-            };
-            if kind == AllocatorKind::Sw {
-                sw_meta = Some(r.dram_bytes.max(1));
-            }
-            let dram_vs_sw = match (kind, sw_meta) {
-                (AllocatorKind::HwSw, Some(sw)) => r.dram_bytes as f64 / sw as f64,
-                _ => 1.0,
-            };
-            e.push(Row::new(
-                format!("{} + {}", repr.label(), kind.label()),
-                vec![
-                    ("Meps", r.throughput_meps),
-                    ("ms", r.update_secs * 1e3),
-                    ("run", run),
-                    ("busy-wait", busy),
-                    ("idle(mem)", mem),
-                    ("idle(etc)", etc),
-                    ("vs static", r.throughput_meps / static_r.throughput_meps),
-                    ("tasklet malloc p50 us", malloc_p50),
-                    ("DRAM vs SW", dram_vs_sw),
-                ],
-            ));
+    for (&(repr, kind), r) in grid[1..].iter().zip(&runs[1..]) {
+        let (run, busy, mem, etc) = r.breakdown.fractions();
+        let malloc_p50 = {
+            let mut v = r.per_tasklet_malloc_us.clone();
+            v.sort_by(f64::total_cmp);
+            v.get(v.len() / 2).copied().unwrap_or(0.0)
+        };
+        if kind == AllocatorKind::Sw {
+            sw_meta = Some(r.dram_bytes.max(1));
         }
+        let dram_vs_sw = match (kind, sw_meta) {
+            (AllocatorKind::HwSw, Some(sw)) => r.dram_bytes as f64 / sw as f64,
+            _ => 1.0,
+        };
+        e.push(Row::new(
+            format!("{} + {}", repr.label(), kind.label()),
+            vec![
+                ("Meps", r.throughput_meps),
+                ("ms", r.update_secs * 1e3),
+                ("run", run),
+                ("busy-wait", busy),
+                ("idle(mem)", mem),
+                ("idle(etc)", etc),
+                ("vs static", r.throughput_meps / static_r.throughput_meps),
+                ("tasklet malloc p50 us", malloc_p50),
+                ("DRAM vs SW", dram_vs_sw),
+            ],
+        ));
     }
     e
 }

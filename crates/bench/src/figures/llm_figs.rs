@@ -1,7 +1,13 @@
 //! LLM-serving figures: 4(b) and 18.
+//!
+//! Each allocation scheme is an independent serving simulation, so both
+//! figures evaluate their schemes concurrently (via
+//! [`pim_workloads::llm::run_serving_many`] and
+//! [`pim_sim::parallel_indexed`]) and report in paper order.
 
+use pim_sim::parallel_indexed;
 use pim_workloads::llm::{
-    fixed_trace, max_batch_size, run_serving, sharegpt_like_trace, KvScheme, LlmConfig,
+    fixed_trace, max_batch_size, run_serving_many, sharegpt_like_trace, KvScheme, LlmConfig,
     ServingConfig,
 };
 use pim_workloads::AllocatorKind;
@@ -18,8 +24,9 @@ pub fn fig4b(quick: bool) -> Experiment {
     );
     let cfg = LlmConfig::default();
     let trace = sharegpt_like_trace(if quick { 250 } else { 500 }, 10.0, cfg.max_seq_len, 11);
-    for scheme in [KvScheme::Static, KvScheme::Dynamic(AllocatorKind::Sw)] {
-        let r = max_batch_size(scheme, &cfg, &trace);
+    let schemes = [KvScheme::Static, KvScheme::Dynamic(AllocatorKind::Sw)];
+    let runs = parallel_indexed(schemes.len(), |i| max_batch_size(schemes[i], &cfg, &trace));
+    for (scheme, r) in schemes.into_iter().zip(runs) {
         e.push(Row::new(
             scheme.label(),
             vec![("max batch", r.max_batch as f64)],
@@ -42,13 +49,14 @@ pub fn fig18(quick: bool) -> Experiment {
     let cfg = ServingConfig::default();
     let trace = fixed_trace(100, 10.0);
     let _ = quick;
-    for scheme in [
+    let schemes = [
         KvScheme::Static,
         KvScheme::Dynamic(AllocatorKind::StrawMan),
         KvScheme::Dynamic(AllocatorKind::Sw),
         KvScheme::Dynamic(AllocatorKind::HwSw),
-    ] {
-        let r = run_serving(scheme, &cfg, &trace);
+    ];
+    let results = run_serving_many(&schemes, &cfg, &trace);
+    for (scheme, r) in schemes.into_iter().zip(results) {
         e.push(Row::new(
             scheme.label(),
             vec![

@@ -1,6 +1,11 @@
 //! Microbenchmark-driven figures: 7, 8, 15, 16, and the ablations.
+//!
+//! Every grid point is an independent single-DPU simulation, so each
+//! figure fans its sweep out with [`pim_sim::parallel_indexed`] and
+//! assembles rows from the index-ordered results — same tables, host
+//! wall-clock divided by the core count.
 
-use pim_sim::BuddyCacheConfig;
+use pim_sim::{parallel_indexed, BuddyCacheConfig};
 use pim_workloads::micro::{
     run_micro, run_micro_with_cache, run_straw_man_grid_point, MicroConfig,
 };
@@ -27,13 +32,26 @@ pub fn fig7(quick: bool) -> Experiment {
     } else {
         &[32, 128, 512, 1024, 2048]
     };
+    let grid: Vec<(u32, u32)> = alloc_sizes
+        .iter()
+        .flat_map(|&alloc| heaps.iter().map(move |&heap| (alloc, heap)))
+        .collect();
     let baseline = run_straw_man_grid_point(32 << 10, 2048, pairs);
-    for &alloc in alloc_sizes {
-        let mut values = Vec::new();
-        for &heap in heaps {
-            let us = run_straw_man_grid_point(heap, alloc, pairs);
-            values.push((format!("{}KB heap", heap >> 10), us / baseline));
-        }
+    let latencies = parallel_indexed(grid.len(), |i| {
+        let (alloc, heap) = grid[i];
+        run_straw_man_grid_point(heap, alloc, pairs)
+    });
+    for (ai, &alloc) in alloc_sizes.iter().enumerate() {
+        let values = heaps
+            .iter()
+            .enumerate()
+            .map(|(hi, &heap)| {
+                (
+                    format!("{}KB heap", heap >> 10),
+                    latencies[ai * heaps.len() + hi] / baseline,
+                )
+            })
+            .collect();
         e.push(Row {
             label: format!("{alloc} B alloc"),
             values,
@@ -51,14 +69,18 @@ pub fn fig8(quick: bool) -> Experiment {
         "1 thread stable; 16 threads fluctuate, busy-wait dominates",
     );
     let allocs = if quick { 64 } else { 300 };
-    for threads in [1usize, 16] {
+    let thread_counts = [1usize, 16];
+    let runs = parallel_indexed(thread_counts.len(), |i| {
+        let threads = thread_counts[i];
         let cfg = MicroConfig {
             n_tasklets: threads,
             allocs_per_tasklet: allocs / threads.min(allocs),
             alloc_size: 32,
             ..MicroConfig::default()
         };
-        let r = run_micro(AllocatorKind::StrawMan, &cfg);
+        run_micro(AllocatorKind::StrawMan, &cfg)
+    });
+    for (threads, r) in thread_counts.into_iter().zip(runs) {
         let n = r.timeline_us.len().max(1);
         let early: f64 =
             r.timeline_us[..n / 4].iter().map(|&(_, l)| l).sum::<f64>() / (n / 4).max(1) as f64;
@@ -95,28 +117,35 @@ pub fn fig15(quick: bool) -> Experiment {
         "SW 66x over straw-man overall; HW/SW +31% over SW; 39% on 4KB",
     );
     let allocs = if quick { 32 } else { 128 };
-    for threads in [1usize, 16] {
-        for size in [32u32, 256, 4096] {
-            let cfg = MicroConfig {
-                n_tasklets: threads,
-                allocs_per_tasklet: allocs,
-                alloc_size: size,
-                ..MicroConfig::default()
-            };
-            let straw = run_micro(AllocatorKind::StrawMan, &cfg).avg_latency_us;
-            let sw = run_micro(AllocatorKind::Sw, &cfg).avg_latency_us;
-            let hw = run_micro(AllocatorKind::HwSw, &cfg).avg_latency_us;
-            e.push(Row::new(
-                format!("{threads}thr {size}B"),
-                vec![
-                    ("straw-man", straw),
-                    ("SW", sw),
-                    ("HW/SW", hw),
-                    ("straw/SW", straw / sw),
-                    ("SW/HWSW", sw / hw),
-                ],
-            ));
-        }
+    let cells: Vec<(usize, u32)> = [1usize, 16]
+        .into_iter()
+        .flat_map(|threads| [32u32, 256, 4096].into_iter().map(move |s| (threads, s)))
+        .collect();
+    let kinds = AllocatorKind::HEADLINE;
+    let latencies = parallel_indexed(cells.len() * kinds.len(), |i| {
+        let (threads, size) = cells[i / kinds.len()];
+        let cfg = MicroConfig {
+            n_tasklets: threads,
+            allocs_per_tasklet: allocs,
+            alloc_size: size,
+            ..MicroConfig::default()
+        };
+        run_micro(kinds[i % kinds.len()], &cfg).avg_latency_us
+    });
+    for (ci, &(threads, size)) in cells.iter().enumerate() {
+        let &[straw, sw, hw] = &latencies[ci * kinds.len()..(ci + 1) * kinds.len()] else {
+            unreachable!("HEADLINE is straw-man, SW, HW/SW");
+        };
+        e.push(Row::new(
+            format!("{threads}thr {size}B"),
+            vec![
+                ("straw-man", straw),
+                ("SW", sw),
+                ("HW/SW", hw),
+                ("straw/SW", straw / sw),
+                ("SW/HWSW", sw / hw),
+            ],
+        ));
     }
     e
 }
@@ -136,8 +165,11 @@ pub fn fig16(quick: bool) -> Experiment {
         ..MicroConfig::default()
     };
     let sw = run_micro(AllocatorKind::Sw, &cfg).avg_latency_us;
-    for bytes in [16u32, 32, 64, 128, 256] {
-        let r = run_micro_with_cache(&cfg, BuddyCacheConfig::with_capacity_bytes(bytes));
+    let sizes = [16u32, 32, 64, 128, 256];
+    let runs = parallel_indexed(sizes.len(), |i| {
+        run_micro_with_cache(&cfg, BuddyCacheConfig::with_capacity_bytes(sizes[i]))
+    });
+    for (bytes, r) in sizes.into_iter().zip(runs) {
         let bc = r.buddy_cache.expect("HW/SW exposes cache stats");
         e.push(Row::new(
             format!("{bytes} B cache"),
@@ -168,8 +200,11 @@ pub fn ablation_swlru(quick: bool) -> Experiment {
         alloc_size: 4096,
         ..MicroConfig::default()
     };
-    let coarse = run_micro(AllocatorKind::Sw, &cfg);
-    let fine = run_micro(AllocatorKind::SwFineLru, &cfg);
+    let mut runs = parallel_indexed(2, |i| {
+        run_micro([AllocatorKind::Sw, AllocatorKind::SwFineLru][i], &cfg)
+    });
+    let fine = runs.pop().expect("two runs");
+    let coarse = runs.pop().expect("two runs");
     e.push(Row::new(
         "coarse window",
         vec![
@@ -204,28 +239,32 @@ pub fn ablation_descent(quick: bool) -> Experiment {
         "design choice called out in DESIGN.md; not in the paper",
     );
     let allocs = if quick { 128 } else { 512 };
-    for (label, policy) in [
+    let policies = [
         ("full marks", DescentPolicy::FullMarks),
         ("three-state", DescentPolicy::ThreeState),
-    ] {
+    ];
+    let runs = parallel_indexed(policies.len(), |i| {
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
         let cfg = StrawManConfig {
-            descent: policy,
+            descent: policies[i].1,
             ..StrawManConfig::default()
         };
         let mut alloc = StrawManAllocator::init(&mut dpu, cfg);
         let mut first = 0.0;
         let mut last = 0.0;
-        for i in 0..allocs {
+        for j in 0..allocs {
             let mut ctx = dpu.ctx(0);
             let t0 = ctx.now();
             alloc.pim_malloc(&mut ctx, 32).unwrap();
             let us = (ctx.now() - t0).as_micros(350);
-            if i == 0 {
+            if j == 0 {
                 first = us;
             }
             last = us;
         }
+        (first, last)
+    });
+    for ((label, _), (first, last)) in policies.into_iter().zip(runs) {
         e.push(Row::new(
             label,
             vec![

@@ -1,6 +1,7 @@
 //! Table III (fragmentation) and the §VI-E/§VI-F overhead analyses.
 
 use pim_malloc::BuddyGeometry;
+use pim_sim::parallel_indexed;
 use pim_sim::{BuddyCacheConfig, CamOverheadModel};
 use pim_workloads::graph::{run_graph_update, GraphRepr, GraphUpdateConfig};
 use pim_workloads::llm::{kv_fragmentation, LlmConfig};
@@ -27,22 +28,23 @@ pub fn table3(quick: bool) -> Experiment {
     } else {
         GraphUpdateConfig::default()
     };
-    for repr in [GraphRepr::LinkedList, GraphRepr::VarArray] {
-        let eager = run_graph_update(&GraphUpdateConfig {
-            repr,
-            allocator: AllocatorKind::Sw,
+    let reprs = [GraphRepr::LinkedList, GraphRepr::VarArray];
+    let kinds = [AllocatorKind::Sw, AllocatorKind::SwLazy];
+    let ratios = parallel_indexed(reprs.len() * kinds.len(), |i| {
+        run_graph_update(&GraphUpdateConfig {
+            repr: reprs[i / kinds.len()],
+            allocator: kinds[i % kinds.len()],
             ..base
         })
-        .frag_ratio;
-        let lazy = run_graph_update(&GraphUpdateConfig {
-            repr,
-            allocator: AllocatorKind::SwLazy,
-            ..base
-        })
-        .frag_ratio;
+        .frag_ratio
+    });
+    for (ri, repr) in reprs.into_iter().enumerate() {
         e.push(Row::new(
             format!("Dynamic graph update ({})", repr.label()),
-            vec![("as-is", eager), ("lazy", lazy)],
+            vec![
+                ("as-is", ratios[ri * kinds.len()]),
+                ("lazy", ratios[ri * kinds.len() + 1]),
+            ],
         ));
     }
     let cfg = LlmConfig::default();

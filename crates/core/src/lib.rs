@@ -42,6 +42,7 @@ pub mod error;
 pub mod frag;
 pub mod metadata;
 pub mod pim_malloc;
+pub mod region_map;
 pub mod stats;
 pub mod straw_man;
 pub mod thread_cache;
@@ -52,6 +53,7 @@ pub use error::{AllocError, InitError};
 pub use frag::FragTracker;
 pub use metadata::{MetaStats, MetadataStore, NodeState};
 pub use pim_malloc::{BackendKind, PimMalloc, PimMallocConfig};
+pub use region_map::{FreeRoute, RegionMap};
 pub use stats::{AllocStats, ServiceSite};
 pub use straw_man::{StrawManAllocator, StrawManConfig};
 pub use thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};

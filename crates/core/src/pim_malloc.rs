@@ -12,8 +12,6 @@
 //! cache (**PIM-malloc-HW/SW**), or the fine-grained software LRU
 //! ablation.
 
-use std::collections::BTreeMap;
-
 use pim_sim::{BuddyCacheConfig, BuddyCacheStats, DpuSim, MutexId, TaskletCtx};
 
 use crate::api::PimAllocator;
@@ -21,15 +19,19 @@ use crate::buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend
 use crate::error::{AllocError, InitError};
 use crate::frag::FragTracker;
 use crate::metadata::{MetaStats, MetadataStore};
+use crate::region_map::{FreeRoute, RegionMap};
 use crate::stats::{AllocStats, ServiceSite};
 use crate::thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};
 
 /// Fixed instructions of `pim_malloc` entry (argument checks, size
 /// classification).
 const MALLOC_ENTRY_INSTRS: u64 = 15;
-/// Fixed instructions of `pim_free` entry (block-header lookup that
-/// routes the free to a thread cache or the backend).
+/// Fixed instructions of `pim_free` entry (argument checks and routing
+/// off the block header; the header itself costs one MRAM read).
 const FREE_ENTRY_INSTRS: u64 = 20;
+/// Bytes of the per-block header `pim_free` reads to learn the owning
+/// route (thread-cache class vs backend level) — one 8 B DMA beat.
+const BLOCK_HEADER_BYTES: u32 = 8;
 
 /// Which metadata store the backend buddy allocator runs on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,25 +128,14 @@ impl PimMallocConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Route {
-    Class { idx: usize, owner: usize },
-    Bypass,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Live {
-    requested: u32,
-    route: Route,
-}
-
 /// The hierarchical PIM-malloc allocator for one DPU.
 #[derive(Debug)]
 pub struct PimMalloc {
     caches: Vec<ThreadCache>,
     backend: BuddyAllocator,
     backend_mutex: MutexId,
-    live: BTreeMap<u32, Live>,
+    /// O(1) frame-table routing for `pim_free` (see [`RegionMap`]).
+    region: RegionMap,
     stats: AllocStats,
     frag: FragTracker,
     init_end: pim_sim::Cycles,
@@ -172,6 +163,11 @@ impl PimMalloc {
             config.n_tasklets >= 1 && config.n_tasklets <= 24,
             "tasklet count {} outside 1..=24",
             config.n_tasklets
+        );
+        assert_eq!(
+            config.backend_min_block, CACHE_BLOCK_BYTES,
+            "the frame table maps one backend block per frame, so the \
+             backend's minimum block must equal the thread-cache block"
         );
         let geometry =
             BuddyGeometry::new(config.heap_base, config.heap_size, config.backend_min_block);
@@ -233,7 +229,7 @@ impl PimMalloc {
                 caches,
                 backend,
                 backend_mutex,
-                live: BTreeMap::new(),
+                region: RegionMap::new(config.heap_base, config.heap_size, CACHE_BLOCK_BYTES),
                 stats: AllocStats::default(),
                 frag: FragTracker::new(),
                 init_end: pim_sim::Cycles::ZERO,
@@ -247,6 +243,12 @@ impl PimMalloc {
                     let mut ctx = dpu.ctx(0);
                     let base = this.backend.alloc(&mut ctx, CACHE_BLOCK_BYTES)?;
                     this.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
+                    this.region.note_cache_block(
+                        base,
+                        tid,
+                        class_idx,
+                        config.size_classes[class_idx],
+                    );
                     this.caches[tid].add_block(&mut ctx, class_idx, base);
                 }
             }
@@ -296,7 +298,7 @@ impl PimMalloc {
 
     /// Number of live user allocations.
     pub fn live_allocations(&self) -> usize {
-        self.live.len()
+        self.region.live_allocations()
     }
 
     fn backend_alloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
@@ -323,35 +325,28 @@ impl PimAllocator for PimMalloc {
             return Err(AllocError::InvalidSize { requested: size });
         }
         let tid = ctx.tid();
-        let (addr, site, route) = match self.caches[tid].class_for(size) {
-            Some(class_idx) => match self.caches[tid].alloc(ctx, class_idx) {
-                // Case 1: thread cache hit.
-                Some(addr) => (
-                    addr,
-                    ServiceSite::FrontendHit,
-                    Route::Class {
-                        idx: class_idx,
-                        owner: tid,
-                    },
-                ),
-                // Case 2: thread cache miss — refill from the backend.
-                None => {
-                    let base = self.backend_alloc(ctx, CACHE_BLOCK_BYTES)?;
-                    self.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
-                    self.caches[tid].add_block(ctx, class_idx, base);
-                    let addr = self.caches[tid]
-                        .alloc(ctx, class_idx)
-                        .expect("fresh block has free sub-blocks");
-                    (
-                        addr,
-                        ServiceSite::FrontendRefill,
-                        Route::Class {
-                            idx: class_idx,
-                            owner: tid,
-                        },
-                    )
-                }
-            },
+        let (addr, site) = match self.caches[tid].class_for(size) {
+            Some(class_idx) => {
+                let (addr, site) = match self.caches[tid].alloc(ctx, class_idx) {
+                    // Case 1: thread cache hit.
+                    Some(addr) => (addr, ServiceSite::FrontendHit),
+                    // Case 2: thread cache miss — refill from the backend.
+                    None => {
+                        let base = self.backend_alloc(ctx, CACHE_BLOCK_BYTES)?;
+                        self.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
+                        let class_bytes = self.caches[tid].pools()[class_idx].class_bytes();
+                        self.region
+                            .note_cache_block(base, tid, class_idx, class_bytes);
+                        self.caches[tid].add_block(ctx, class_idx, base);
+                        let addr = self.caches[tid]
+                            .alloc(ctx, class_idx)
+                            .expect("fresh block has free sub-blocks");
+                        (addr, ServiceSite::FrontendRefill)
+                    }
+                };
+                self.region.note_cache_alloc(addr, size);
+                (addr, site)
+            }
             // Case 3: thread cache bypass.
             None => {
                 let addr = self.backend_alloc(ctx, size)?;
@@ -361,16 +356,10 @@ impl PimAllocator for PimMalloc {
                     .block_for_size(size)
                     .expect("validated by backend");
                 self.frag.on_reserve(u64::from(reserved));
-                (addr, ServiceSite::Bypass, Route::Bypass)
+                self.region.note_backend_alloc(addr, reserved, size);
+                (addr, ServiceSite::Bypass)
             }
         };
-        self.live.insert(
-            addr,
-            Live {
-                requested: size,
-                route,
-            },
-        );
         self.frag.on_user_alloc(u64::from(size));
         self.stats.record_malloc(site, ctx.now() - start);
         Ok(addr)
@@ -379,26 +368,34 @@ impl PimAllocator for PimMalloc {
     /// Frees the allocation at `addr`.
     fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
         ctx.instrs(FREE_ENTRY_INSTRS);
-        let live = self
-            .live
-            .remove(&addr)
-            .ok_or(AllocError::InvalidFree { addr })?;
-        match live.route {
-            Route::Class { idx, owner } => match self.caches[owner].free(ctx, idx, addr) {
-                FreeOutcome::Cached => self.stats.record_free(false),
-                FreeOutcome::BlockReleased { block_base } => {
-                    self.backend_free(ctx, block_base)?;
-                    self.frag.on_release(u64::from(CACHE_BLOCK_BYTES));
-                    self.stats.record_free(true);
+        // O(1) host-side routing off the frame table; the simulated
+        // cost is the block-header read charged below.
+        let route = self.region.take_route(addr)?;
+        ctx.mram_read(addr, BLOCK_HEADER_BYTES);
+        match route {
+            FreeRoute::Cache {
+                tid,
+                class_idx,
+                requested,
+            } => {
+                match self.caches[tid].free(ctx, class_idx, addr) {
+                    FreeOutcome::Cached => self.stats.record_free(false),
+                    FreeOutcome::BlockReleased { block_base } => {
+                        self.region.release_cache_block(block_base);
+                        self.backend_free(ctx, block_base)?;
+                        self.frag.on_release(u64::from(CACHE_BLOCK_BYTES));
+                        self.stats.record_free(true);
+                    }
                 }
-            },
-            Route::Bypass => {
+                self.frag.on_user_free(u64::from(requested));
+            }
+            FreeRoute::Backend { requested } => {
                 let freed = self.backend_free(ctx, addr)?;
                 self.frag.on_release(u64::from(freed));
+                self.frag.on_user_free(u64::from(requested));
                 self.stats.record_free(true);
             }
         }
-        self.frag.on_user_free(u64::from(live.requested));
         Ok(())
     }
 

@@ -7,13 +7,12 @@
 //! which is exactly what makes it slow (Figure 7) and
 //! contention-prone (Figure 8).
 
-use std::collections::BTreeMap;
-
 use pim_sim::{DpuSim, MutexId, TaskletCtx};
 
 use crate::api::PimAllocator;
 use crate::buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
 use crate::error::AllocError;
+use crate::region_map::{FreeRoute, RegionMap};
 use crate::stats::{AllocStats, ServiceSite};
 
 /// Configuration of the straw-man allocator.
@@ -58,7 +57,10 @@ pub struct StrawManAllocator {
     buddy: BuddyAllocator,
     mutex: MutexId,
     stats: AllocStats,
-    live: BTreeMap<u32, u32>,
+    /// O(1) host-side free validation, shared with [`crate::PimMalloc`]
+    /// (frame granularity = `min_block`, so every buddy allocation
+    /// starts on a frame boundary).
+    region: RegionMap,
 }
 
 impl StrawManAllocator {
@@ -94,16 +96,21 @@ impl StrawManAllocator {
             buddy.reset(&mut ctx);
         }
         StrawManAllocator {
+            region: RegionMap::new(config.heap_base, config.heap_size, config.min_block),
             buddy,
             mutex,
             stats: AllocStats::default(),
-            live: BTreeMap::new(),
         }
     }
 
     /// The underlying buddy allocator.
     pub fn buddy(&self) -> &BuddyAllocator {
         &self.buddy
+    }
+
+    /// Number of live user allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.region.live_allocations()
     }
 }
 
@@ -114,18 +121,28 @@ impl PimAllocator for StrawManAllocator {
         let result = self.buddy.alloc(ctx, size);
         ctx.mutex_unlock(self.mutex);
         let addr = result?;
-        self.live.insert(addr, size);
+        let reserved = self
+            .buddy
+            .geometry()
+            .block_for_size(size)
+            .expect("validated by buddy alloc");
+        self.region.note_backend_alloc(addr, reserved, size);
         self.stats
             .record_malloc(ServiceSite::Bypass, ctx.now() - start);
         Ok(addr)
     }
 
     fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
+        // Validate through the same O(1) frame table PIM-malloc uses;
+        // an invalid or double free is rejected before any simulated
+        // descent. The straw-man has one owner only, so the route is
+        // always the backend.
+        let route = self.region.take_route(addr)?;
+        debug_assert!(matches!(route, FreeRoute::Backend { .. }));
         ctx.mutex_lock(self.mutex);
         let result = self.buddy.free(ctx, addr);
         ctx.mutex_unlock(self.mutex);
         result?;
-        self.live.remove(&addr);
         self.stats.record_free(true);
         Ok(())
     }

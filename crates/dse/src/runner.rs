@@ -199,15 +199,20 @@ pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
 /// Runs every strategy over a list of DPU counts (the Figure 6(a)
 /// sweep). Results are ordered strategy-major, in [`Strategy::ALL`]
 /// order.
+///
+/// Each grid point is an independent simulation (its own `DpuSim` and
+/// host model), so the sweep fans out over the machine's cores via
+/// [`pim_sim::parallel_indexed`] and merges results back in grid order
+/// — the output is identical to the serial double loop it replaced.
 pub fn sweep(config: &DseConfig, dpu_counts: &[usize]) -> Vec<DseResult> {
-    let mut out = Vec::with_capacity(dpu_counts.len() * 4);
-    for &strategy in &Strategy::ALL {
-        for &n in dpu_counts {
-            let c = config.clone().with_dpus(n);
-            out.push(run_strategy(strategy, &c));
-        }
-    }
-    out
+    let grid: Vec<(Strategy, usize)> = Strategy::ALL
+        .iter()
+        .flat_map(|&s| dpu_counts.iter().map(move |&n| (s, n)))
+        .collect();
+    pim_sim::parallel_indexed(grid.len(), |i| {
+        let (strategy, n) = grid[i];
+        run_strategy(strategy, &config.clone().with_dpus(n))
+    })
 }
 
 #[cfg(test)]

@@ -67,6 +67,6 @@ pub use iram::Iram;
 pub use mram::Mram;
 pub use runtime::DpuSet;
 pub use stats::{DramTraffic, LatencyRecorder, TaskletStats};
-pub use system::PimSystem;
+pub use system::{parallel_indexed, PimSystem};
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};
 pub use wram::Wram;

@@ -17,6 +17,7 @@ use super::csr::CsrGraph;
 use super::generator::{generate_power_law, split_for_update_count, UpdateWorkload};
 use super::linked::LinkedListGraph;
 use super::vararray::VarArrayGraph;
+use crate::driver::VirtualTimeQueue;
 use crate::AllocatorKind;
 
 /// Graph representation under test.
@@ -161,15 +162,16 @@ where
     let mut next = vec![0usize; n];
     let mut events = Vec::new();
     let mut per_tasklet = vec![Cycles::ZERO; n];
-    while let Some(tid) = (0..n)
-        .filter(|&t| next[t] < streams[t].len())
-        .min_by_key(|&t| dpu.clock(t))
-    {
+    let mut queue = VirtualTimeQueue::new(dpu, (0..n).filter(|&t| !streams[t].is_empty()));
+    while let Some(tid) = queue.pop(dpu) {
         let (u, v) = streams[tid][next[tid]];
         next[tid] += 1;
         for latency in insert(dpu, tid, u, v) {
             events.push((dpu.clock(tid), latency));
             per_tasklet[tid] += latency;
+        }
+        if next[tid] < streams[tid].len() {
+            queue.push(dpu, tid);
         }
     }
     (events, per_tasklet)
@@ -181,8 +183,6 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
     let local_nodes = cfg.n_nodes.div_ceil(cfg.n_dpus as u32);
     let mhz = pim_sim::CostModel::default().clock_mhz;
 
-    // Per-DPU simulations are independent; run them on scoped threads
-    // and reduce in DPU order for determinism.
     #[derive(Debug)]
     struct DpuOutcome {
         update: Cycles,
@@ -307,15 +307,9 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
         }
     };
 
-    let outcomes: Vec<DpuOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.n_dpus)
-            .map(|idx| scope.spawn(move || run_one_dpu(idx)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("DPU sim"))
-            .collect()
-    });
+    // Per-DPU simulations are share-nothing; fan them out over the
+    // machine's cores and reduce in DPU-index order for determinism.
+    let outcomes: Vec<DpuOutcome> = pim_sim::parallel_indexed(cfg.n_dpus, run_one_dpu);
 
     let mut slowest = Cycles::ZERO;
     let mut breakdown = TaskletStats::default();

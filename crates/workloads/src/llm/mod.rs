@@ -21,5 +21,5 @@ pub mod trace;
 pub use attention::AttentionKernel;
 pub use config::LlmConfig;
 pub use kv_cache::{kv_fragmentation, max_batch_size, KvScheme, MaxBatchResult};
-pub use serving::{run_serving, ServingConfig, ServingResult};
+pub use serving::{run_serving, run_serving_many, ServingConfig, ServingResult};
 pub use trace::{fixed_trace, sharegpt_like_trace, RequestSpec};

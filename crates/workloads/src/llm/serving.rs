@@ -85,6 +85,22 @@ fn alloc_secs_per_block(scheme: KvScheme, cfg: &LlmConfig) -> f64 {
     }
 }
 
+/// Runs the serving simulation for several schemes concurrently, one
+/// share-nothing simulation per scheme, returning results in input
+/// order.
+///
+/// Each scheme's run is independent (its own allocator calibration DPU
+/// and event loop), so this is a deterministic parallel map over
+/// [`run_serving`] — the Figure 18 comparison at the wall-clock cost of
+/// its slowest scheme instead of their sum.
+pub fn run_serving_many(
+    schemes: &[KvScheme],
+    cfg: &ServingConfig,
+    trace: &[RequestSpec],
+) -> Vec<ServingResult> {
+    pim_sim::parallel_indexed(schemes.len(), |i| run_serving(schemes[i], cfg, trace))
+}
+
 /// Runs the serving simulation over `trace`.
 pub fn run_serving(scheme: KvScheme, cfg: &ServingConfig, trace: &[RequestSpec]) -> ServingResult {
     let alloc_block_secs = alloc_secs_per_block(scheme, &cfg.llm);
@@ -246,10 +262,7 @@ mod tests {
         // straw-man the highest; HW/SW improves on SW.
         let cfg = quick_cfg();
         let trace = fixed_trace(40, 10.0);
-        let results: Vec<ServingResult> = schemes()
-            .iter()
-            .map(|&s| run_serving(s, &cfg, &trace))
-            .collect();
+        let results = run_serving_many(&schemes(), &cfg, &trace);
         let (st, straw, sw, hw) = (&results[0], &results[1], &results[2], &results[3]);
         assert!(st.tpot_p50_ms <= sw.tpot_p50_ms);
         assert!(
