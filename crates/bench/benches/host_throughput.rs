@@ -1,4 +1,5 @@
-//! Host-side throughput benches for the two PR-level optimizations:
+//! Host-side throughput benches for the PR-level optimizations, plus a
+//! machine-readable CI perf report:
 //!
 //! * `churn_1m_ops` — 1,000,000 alloc/free operations through one
 //!   PIM-malloc instance, exercising the O(1) frame-table free routing
@@ -6,21 +7,30 @@
 //!   ns/iter ÷ 1e6 gives host nanoseconds per allocator operation.
 //! * `fig15_64dpu/{serial,parallel}` — a Figure 15-style 64-DPU
 //!   microbenchmark sweep executed with the serial `run_per_dpu` loop
-//!   vs the scoped-thread `run_per_dpu_parallel` engine. The printed
-//!   speedup line makes wall-clock regressions (or a missing
-//!   parallelism win) visible straight from CI logs; expect roughly
-//!   the machine's core count on multicore hosts.
+//!   vs the scoped-thread `run_per_dpu_parallel` engine.
+//! * Batched-vs-unbatched transfers — the 256-DPU host-executed DSE
+//!   run under per-DPU calls vs per-rank shards (`HostBatching`),
+//!   reporting the modeled transfer-time speedup and call counts.
+//!
+//! Before the timed groups run, one untimed pass measures all three
+//! and writes `BENCH_host_throughput.json` (ops/sec plus the
+//! serial-vs-parallel and batched-vs-unbatched speedups). CI uploads
+//! the file as an artifact and gates on both speedups staying ≥ 1.0,
+//! so a lost parallelism or batching win fails the build instead of
+//! scrolling past in a log.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pim_dse::{run_strategy, DseConfig, DseResult, Strategy};
 use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
-use pim_sim::{DpuConfig, DpuSim, PimSystem};
+use pim_sim::{DpuConfig, DpuSim, HostBatching, PimSystem};
 use pim_workloads::driver::{drive, Request};
 use pim_workloads::AllocatorKind;
 
 const CHURN_OPS: usize = 1_000_000;
 const N_DPUS: usize = 64;
+const DSE_DPUS: usize = 256;
 
 /// Runs `CHURN_OPS` total operations: mallocs through a sliding window
 /// of 64 live slots per tasklet (freeing the oldest once full), sizes
@@ -52,22 +62,6 @@ fn churn() -> u64 {
     pm.alloc_stats().total_mallocs()
 }
 
-fn bench_churn(c: &mut Criterion) {
-    // Report host ops/sec once, outside the timed samples, so the
-    // number is greppable in CI logs.
-    let t0 = Instant::now();
-    let mallocs = churn();
-    let secs = t0.elapsed().as_secs_f64();
-    println!(
-        "host_throughput/churn_1m_ops: {:.0} host ops/sec ({mallocs} mallocs)",
-        CHURN_OPS as f64 / secs
-    );
-    let mut g = c.benchmark_group("host_throughput");
-    g.sample_size(2);
-    g.bench_function("churn_1m_ops", |b| b.iter(churn));
-    g.finish();
-}
-
 /// One DPU's share of a Figure 15-style cell: 16 tasklets × 32
 /// allocations per size, alloc/free-paired so the run self-cleans.
 fn fig15_cell(dpu: &mut DpuSim) {
@@ -88,26 +82,133 @@ fn fig15_cell(dpu: &mut DpuSim) {
     drive(dpu, alloc.as_mut(), &streams);
 }
 
-fn bench_figure_run(c: &mut Criterion) {
-    let dpu_config = || DpuConfig::default().with_tasklets(16);
-    // One untimed comparison with explicit wall clocks for the logs.
+/// The 256-DPU host-executed DSE run under one transfer schedule.
+fn dse_host_executed(batching: HostBatching) -> DseResult {
+    run_strategy(
+        Strategy::HostMetaHostExec,
+        &DseConfig {
+            batching,
+            ..DseConfig::default().with_dpus(DSE_DPUS)
+        },
+    )
+}
+
+/// One untimed measurement pass: prints the CI log lines and writes
+/// `BENCH_host_throughput.json` (or `$BENCH_JSON_PATH`).
+///
+/// `cargo test` also executes bench targets (with no `--bench` flag);
+/// the measurement pass is minutes of work and a file side effect, so
+/// it only runs under `cargo bench`, like upstream criterion's test
+/// mode skips sampling.
+fn emit_ci_report(_c: &mut Criterion) {
+    if !std::env::args().any(|a| a == "--bench") {
+        println!("host_throughput: not invoked via `cargo bench`, skipping CI report");
+        return;
+    }
+    // Churn ops/sec.
     let t0 = Instant::now();
-    let mut sys = PimSystem::new(N_DPUS, dpu_config());
-    sys.run_per_dpu(|_, dpu| fig15_cell(dpu));
-    let serial = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let mut sys = PimSystem::new(N_DPUS, dpu_config());
-    sys.run_per_dpu_parallel(|_, dpu| fig15_cell(dpu));
-    let parallel = t0.elapsed().as_secs_f64();
+    let mallocs = churn();
+    let churn_secs = t0.elapsed().as_secs_f64();
+    let churn_ops_per_sec = CHURN_OPS as f64 / churn_secs;
     println!(
-        "host_throughput/fig15_64dpu: serial {serial:.3}s, parallel {parallel:.3}s, \
-         speedup {:.2}x over {} worker(s)",
-        serial / parallel,
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        "host_throughput/churn_1m_ops: {churn_ops_per_sec:.0} host ops/sec ({mallocs} mallocs)"
     );
 
+    // Serial vs parallel wall clock for the 64-DPU figure run.
+    // Best-of-3 so scheduler noise doesn't fail the CI speedup gate on
+    // machines where the win is small (with one worker the parallel
+    // engine runs the same inline loop and the true ratio is 1.0).
+    let dpu_config = || DpuConfig::default().with_tasklets(16);
+    let best_of = |run: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                run();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let serial_secs = best_of(&|| {
+        let mut sys = PimSystem::new(N_DPUS, dpu_config());
+        sys.run_per_dpu(|_, dpu| fig15_cell(dpu));
+    });
+    let parallel_secs = best_of(&|| {
+        let mut sys = PimSystem::new(N_DPUS, dpu_config());
+        sys.run_per_dpu_parallel(|_, dpu| fig15_cell(dpu));
+    });
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // With one worker `run_per_dpu_parallel` executes the same inline
+    // loop as the serial engine: there is no parallelism win to lose,
+    // and the measured ratio is pure timer noise — report the true
+    // value, 1.0, so the gate doesn't flake on starved runners.
+    let parallel_speedup = if workers > 1 {
+        serial_secs / parallel_secs
+    } else {
+        1.0
+    };
+    println!(
+        "host_throughput/fig15_64dpu: serial {serial_secs:.3}s, parallel {parallel_secs:.3}s, \
+         speedup {parallel_speedup:.2}x over {workers} worker(s)"
+    );
+
+    // Batched vs unbatched transfer scheduling (modeled, deterministic).
+    let per_dpu = dse_host_executed(HostBatching::PerDpu);
+    let sharded = dse_host_executed(HostBatching::Sharded);
+    let batched_speedup = per_dpu.transfer_secs / sharded.transfer_secs;
+    println!(
+        "host_throughput/dse256_host_executed: per-DPU {:.4}s transfer ({} calls), \
+         sharded {:.4}s ({} calls), batched speedup {batched_speedup:.2}x",
+        per_dpu.transfer_secs,
+        per_dpu.transfer_calls,
+        sharded.transfer_secs,
+        sharded.transfer_calls
+    );
+
+    // Machine-readable report for the CI artifact + gate. Hand-rolled
+    // so the bench stays free of serializer details; every value is a
+    // finite number.
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"host_throughput\",\n  \
+         \"churn_ops_per_sec\": {churn_ops_per_sec:.1},\n  \
+         \"churn_mallocs\": {mallocs},\n  \
+         \"fig15_serial_secs\": {serial_secs:.6},\n  \
+         \"fig15_parallel_secs\": {parallel_secs:.6},\n  \
+         \"parallel_speedup\": {parallel_speedup:.4},\n  \
+         \"dse256_per_dpu_transfer_secs\": {:.6},\n  \
+         \"dse256_sharded_transfer_secs\": {:.6},\n  \
+         \"dse256_per_dpu_calls\": {},\n  \
+         \"dse256_sharded_calls\": {},\n  \
+         \"batched_speedup\": {batched_speedup:.4}\n}}\n",
+        per_dpu.transfer_secs,
+        sharded.transfer_secs,
+        per_dpu.transfer_calls,
+        sharded.transfer_calls
+    );
+    // Cargo runs benches with CWD = the package dir (crates/bench);
+    // drop the report at the workspace root, where the CI artifact
+    // upload and jq gate look for it.
+    let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_host_throughput.json")
+            .display()
+            .to_string()
+    });
+    std::fs::write(&path, json).expect("write bench json");
+    println!("host_throughput: wrote {path}");
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_throughput");
+    g.sample_size(2);
+    g.bench_function("churn_1m_ops", |b| b.iter(churn));
+    g.finish();
+}
+
+fn bench_figure_run(c: &mut Criterion) {
+    let dpu_config = || DpuConfig::default().with_tasklets(16);
     let mut g = c.benchmark_group("fig15_64dpu");
     g.sample_size(2);
     g.bench_function("serial", |b| {
@@ -127,5 +228,25 @@ fn bench_figure_run(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(host_throughput, bench_churn, bench_figure_run);
+fn bench_batching(c: &mut Criterion) {
+    // The modeled result is deterministic; the bench tracks the host
+    // cost of *computing* the 256-DPU host-executed sweep itself.
+    let mut g = c.benchmark_group("dse256_host_executed");
+    g.sample_size(2);
+    g.bench_function("per_dpu", |b| {
+        b.iter(|| dse_host_executed(HostBatching::PerDpu).total_secs)
+    });
+    g.bench_function("sharded", |b| {
+        b.iter(|| dse_host_executed(HostBatching::Sharded).total_secs)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    host_throughput,
+    emit_ci_report,
+    bench_churn,
+    bench_figure_run,
+    bench_batching
+);
 criterion_main!(host_throughput);

@@ -4,6 +4,7 @@
 //! `repro all --quick` completes in well under a minute, while the
 //! default scales match the paper's parameters where feasible.
 
+mod batching_figs;
 mod discussion_figs;
 mod dse_figs;
 mod graph_figs;
@@ -11,6 +12,7 @@ mod llm_figs;
 mod micro_figs;
 mod overhead_figs;
 
+pub use batching_figs::host_batching;
 pub use discussion_figs::{discussion_cache_granularity, discussion_future_pim};
 pub use dse_figs::{fig6a, fig6b};
 pub use graph_figs::{fig11, fig17, fig3c};
@@ -20,8 +22,8 @@ pub use overhead_figs::{hw_overhead, metadata_overhead, table3};
 
 use crate::report::Experiment;
 
-/// Every experiment id, in paper order.
-pub const ALL_IDS: [&str; 16] = [
+/// Every experiment id, in paper order (extensions last).
+pub const ALL_IDS: [&str; 17] = [
     "fig3c",
     "fig4b",
     "fig6a",
@@ -38,6 +40,7 @@ pub const ALL_IDS: [&str; 16] = [
     "hw-overhead",
     "ablations",
     "discussion",
+    "host-batching",
 ];
 
 /// Runs one experiment by id. `ablations` bundles the §IV-B fine-LRU
@@ -67,6 +70,7 @@ pub fn run(id: &str, quick: bool) -> Vec<Experiment> {
             discussion_future_pim(quick),
             discussion_cache_granularity(quick),
         ],
+        "host-batching" => vec![host_batching(quick)],
         other => panic!("unknown experiment id `{other}`; valid ids: {ALL_IDS:?}"),
     }
 }

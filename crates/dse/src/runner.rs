@@ -1,7 +1,7 @@
 //! Executes one design strategy and reports the latency split.
 
 use pim_malloc::{PimAllocator, StrawManAllocator, StrawManConfig};
-use pim_sim::{DpuConfig, DpuSim, HostConfig, HostSim, TransferDirection, TransferModel};
+use pim_sim::{DpuConfig, DpuSim, HostBatching, HostConfig, HostSim, TransferModel};
 use serde::{Deserialize, Serialize};
 
 use crate::strategy::Strategy;
@@ -22,6 +22,10 @@ pub struct DseConfig {
     pub host: HostConfig,
     /// Host↔PIM transfer model.
     pub transfer: TransferModel,
+    /// How host↔PIM transfer plans are scheduled: per-DPU calls or
+    /// per-rank shards. Sweeping this is what separates a naive host
+    /// loop from a batched `dpu_push_xfer` data path.
+    pub batching: HostBatching,
     /// Fixed cost of one `pimLaunch` kernel dispatch, microseconds.
     pub launch_us: f64,
     /// Host last-level cache capacity, bytes — determines how much of
@@ -46,6 +50,7 @@ impl Default for DseConfig {
             straw_man: StrawManConfig::default(),
             host: HostConfig::default(),
             transfer: TransferModel::default(),
+            batching: HostBatching::Sharded,
             launch_us: 60.0,
             host_llc_bytes: 16 << 20,
         }
@@ -67,6 +72,10 @@ pub struct DseResult {
     pub transfer_secs: f64,
     /// Seconds spent computing (host or PIM) plus launch overhead.
     pub compute_secs: f64,
+    /// Host↔PIM transfer calls issued across all rounds — the fixed
+    /// software overheads paid. Per-rank sharding pays one per
+    /// occupied rank per plan; per-DPU scheduling pays one per DPU.
+    pub transfer_calls: u64,
 }
 
 impl DseResult {
@@ -134,8 +143,10 @@ fn host_miss_fraction(config: &DseConfig) -> f64 {
 ///
 /// The modelled control flow follows Figure 5 of the paper: each of
 /// the `allocs_per_dpu` rounds performs the strategy's per-round
-/// transfers, dispatch, and compute. `PimMetaPimExec` launches once
-/// and the PIM cores run the entire batch locally.
+/// compute plus the transfer plans [`Strategy::round_plans`] emits,
+/// scheduled under [`DseConfig::batching`]. `PimMetaPimExec` launches
+/// once and the PIM cores run the entire batch locally, issuing no
+/// host↔PIM traffic at all.
 pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
     let mut host = HostSim::new(config.host, config.transfer);
     let rounds = config.allocs_per_dpu;
@@ -154,35 +165,32 @@ pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
     let mut compute_secs = 0.0;
 
     match strategy {
-        // Fig 5(a): parallel-for pimMalloc on the host; push pointers.
-        Strategy::HostMetaHostExec => {
+        // Fig 5(a)/(c): parallel-for pimMalloc on the host every round
+        // (plus, for P-M/H-E, the metadata pull the plans describe).
+        Strategy::HostMetaHostExec | Strategy::PimMetaHostExec => {
             let accesses = host_accesses_per_alloc(config);
             let miss = host_miss_fraction(config);
             for _ in 0..rounds {
                 compute_secs += host.parallel_for(config.n_dpus, accesses, miss);
-                host.transfer(TransferDirection::HostToPim, config.n_dpus, 8);
             }
         }
-        // Fig 5(b): push metadata, launch, PIM cores allocate.
+        // Fig 5(b): launch each round; PIM cores allocate.
         Strategy::HostMetaPimExec => {
             for _ in 0..rounds {
-                host.transfer(TransferDirection::HostToPim, config.n_dpus, meta_bytes);
                 compute_secs += config.launch_us * 1e-6 + pim_alloc_secs;
-            }
-        }
-        // Fig 5(c): pull metadata, host allocates, push pointers.
-        Strategy::PimMetaHostExec => {
-            let accesses = host_accesses_per_alloc(config);
-            let miss = host_miss_fraction(config);
-            for _ in 0..rounds {
-                host.transfer(TransferDirection::PimToHost, config.n_dpus, meta_bytes);
-                compute_secs += host.parallel_for(config.n_dpus, accesses, miss);
-                host.transfer(TransferDirection::HostToPim, config.n_dpus, 8);
             }
         }
         // Fig 5(d): one launch; everything stays PIM-local.
         Strategy::PimMetaPimExec => {
             compute_secs += config.launch_us * 1e-6 + pim_batch_secs;
+        }
+    }
+
+    // The strategy's per-round traffic, scheduled by the policy.
+    let plans = strategy.round_plans(config.n_dpus, meta_bytes);
+    for _ in 0..rounds {
+        for plan in &plans {
+            host.transfer_plan(plan, config.batching);
         }
     }
 
@@ -193,6 +201,7 @@ pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
         total_secs: transfer_secs + compute_secs,
         transfer_secs,
         compute_secs,
+        transfer_calls: host.transfer_calls(),
     }
 }
 
@@ -290,6 +299,53 @@ mod tests {
             (rows[0].transfer_fraction() - rows[0].transfer_secs / rows[0].total_secs).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn sharded_batching_models_rank_not_dpu_call_overheads() {
+        // The PR 3 acceptance sweep: at 256 DPUs a host-executed
+        // strategy pays per-*rank* call overheads under sharded
+        // batching (4 ranks × 128 rounds) and per-*DPU* overheads
+        // without it (256 × 128) — strictly fewer calls, lower
+        // transfer time, identical compute.
+        let base = cfg(256);
+        let per_dpu = run_strategy(
+            Strategy::HostMetaHostExec,
+            &DseConfig {
+                batching: HostBatching::PerDpu,
+                ..base.clone()
+            },
+        );
+        let sharded = run_strategy(
+            Strategy::HostMetaHostExec,
+            &DseConfig {
+                batching: HostBatching::Sharded,
+                ..base
+            },
+        );
+        let rounds = 128u64;
+        assert_eq!(per_dpu.transfer_calls, rounds * 256);
+        assert_eq!(sharded.transfer_calls, rounds * (256 / 64));
+        assert!(sharded.transfer_calls < per_dpu.transfer_calls);
+        assert!(
+            sharded.transfer_secs < per_dpu.transfer_secs / 10.0,
+            "batched {} vs per-DPU {}",
+            sharded.transfer_secs,
+            per_dpu.transfer_secs
+        );
+        assert_eq!(sharded.compute_secs, per_dpu.compute_secs);
+        // The on-DPU design point is untouched by the policy.
+        for batching in [HostBatching::PerDpu, HostBatching::Sharded] {
+            let r = run_strategy(
+                Strategy::PimMetaPimExec,
+                &DseConfig {
+                    batching,
+                    ..cfg(256)
+                },
+            );
+            assert_eq!(r.transfer_calls, 0);
+            assert_eq!(r.transfer_secs, 0.0);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use pim_sim::{TransferDirection, TransferPlan};
 use serde::{Deserialize, Serialize};
 
 /// A point in the PIM-allocator design space (Table I of the paper):
@@ -40,6 +41,35 @@ impl Strategy {
     pub fn moves_metadata(self) -> bool {
         matches!(self, Strategy::HostMetaPimExec | Strategy::PimMetaHostExec)
     }
+
+    /// The host↔PIM [`TransferPlan`]s this strategy issues **per
+    /// allocation round** on an `n_dpus` system whose per-DPU metadata
+    /// set is `meta_bytes` (Figure 5's control flows, expressed as
+    /// traffic):
+    ///
+    /// * Host-executed strategies push each DPU its 8 B result pointer.
+    /// * Metadata movers pull/push the whole per-DPU metadata set.
+    /// * `PimMetaPimExec` issues no host↔PIM traffic at all.
+    ///
+    /// The plans say *what moves*; the runner's
+    /// [`pim_sim::HostBatching`] policy decides *how* (per-DPU calls
+    /// vs per-rank shards).
+    pub fn round_plans(self, n_dpus: usize, meta_bytes: u64) -> Vec<TransferPlan> {
+        let push_pointers = TransferPlan::uniform(TransferDirection::HostToPim, n_dpus, 8);
+        match self {
+            Strategy::HostMetaHostExec => vec![push_pointers],
+            Strategy::HostMetaPimExec => vec![TransferPlan::uniform(
+                TransferDirection::HostToPim,
+                n_dpus,
+                meta_bytes,
+            )],
+            Strategy::PimMetaHostExec => vec![
+                TransferPlan::uniform(TransferDirection::PimToHost, n_dpus, meta_bytes),
+                push_pointers,
+            ],
+            Strategy::PimMetaPimExec => Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -68,6 +98,21 @@ mod tests {
         assert!(Strategy::PimMetaHostExec.moves_metadata());
         assert!(!Strategy::PimMetaPimExec.host_executed());
         assert!(!Strategy::PimMetaPimExec.moves_metadata());
+    }
+
+    #[test]
+    fn round_plans_match_figure5_control_flow() {
+        // 8 B pointer push for host-executed, whole-metadata moves for
+        // the split strategies, silence for the PIM-local design.
+        let plans = Strategy::HostMetaHostExec.round_plans(64, 1 << 19);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].total_bytes(), 64 * 8);
+        let plans = Strategy::HostMetaPimExec.round_plans(64, 1 << 19);
+        assert_eq!(plans[0].total_bytes(), 64 << 19);
+        let plans = Strategy::PimMetaHostExec.round_plans(64, 1 << 19);
+        assert_eq!(plans.len(), 2, "metadata pull then pointer push");
+        assert_eq!(plans[0].direction(), pim_sim::TransferDirection::PimToHost);
+        assert!(Strategy::PimMetaPimExec.round_plans(64, 1 << 19).is_empty());
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct TransferModel {
     pub channel_bw_gbps: f64,
     /// DPUs per rank (64 on UPMEM DIMMs).
     pub dpus_per_rank: usize,
+    /// Channel-arbitration overhead per *additional* concurrent rank
+    /// shard, microseconds: every shard beyond the first interleaves
+    /// its bursts with the others on the shared channel and pays
+    /// re-arbitration for the privilege.
+    pub channel_arb_us: f64,
 }
 
 impl TransferModel {
@@ -71,6 +76,71 @@ impl TransferModel {
         let channel_secs = total_bytes as f64 / (self.channel_bw_gbps * 1e9);
         self.base_us_per_call * 1e-6 + rank_secs.max(channel_secs)
     }
+
+    /// Seconds for a [`TransferPlan`] issued as **one call per DPU
+    /// buffer**: each non-empty buffer pays the fixed per-call
+    /// overhead, calls issue serially in the host thread, and only one
+    /// rank data path is ever active (so the shared channel never
+    /// binds — a single rank cannot saturate it).
+    pub fn per_dpu_transfer_secs(&self, plan: &crate::xfer::TransferPlan) -> f64 {
+        let mut secs = 0.0;
+        for &(_, bytes) in plan.entries() {
+            if bytes > 0 {
+                secs += self.base_us_per_call * 1e-6 + bytes as f64 / (self.rank_bw_gbps * 1e9);
+            }
+        }
+        secs
+    }
+
+    /// Number of distinct ranks a plan's non-empty buffers land on —
+    /// the calls a rank-sharded schedule issues.
+    pub fn shard_count(&self, plan: &crate::xfer::TransferPlan) -> usize {
+        self.rank_loads(plan).len()
+    }
+
+    /// Seconds for a [`TransferPlan`] issued as **one batched call per
+    /// occupied rank** (`dpu_push_xfer` style): the fixed per-call
+    /// overhead is paid once per shard (serially, in the dispatching
+    /// host thread), the rank data paths then proceed in parallel
+    /// capped by the shared channel, and every shard beyond the first
+    /// pays [`TransferModel::channel_arb_us`] of channel arbitration.
+    ///
+    /// This is the *raw* sharded price; [`crate::ShardedXfer`] compares
+    /// it against [`TransferModel::per_dpu_transfer_secs`] and falls
+    /// back when sharding cannot win.
+    pub fn batched_transfer_secs(&self, plan: &crate::xfer::TransferPlan) -> f64 {
+        self.batched_secs_from_loads(&self.rank_loads(plan))
+    }
+
+    /// [`TransferModel::batched_transfer_secs`] over already-grouped
+    /// rank loads, so planners that need the loads anyway don't group
+    /// twice.
+    pub(crate) fn batched_secs_from_loads(&self, loads: &[(usize, u64)]) -> f64 {
+        if loads.is_empty() {
+            return 0.0;
+        }
+        let shards = loads.len() as f64;
+        let fullest: u64 = loads.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let total: u64 = loads.iter().map(|&(_, b)| b).sum();
+        let rank_secs = fullest as f64 / (self.rank_bw_gbps * 1e9);
+        let channel_secs = total as f64 / (self.channel_bw_gbps * 1e9);
+        let overhead =
+            (shards * self.base_us_per_call + (shards - 1.0) * self.channel_arb_us) * 1e-6;
+        overhead + rank_secs.max(channel_secs)
+    }
+
+    /// `(rank, bytes)` for every rank with a non-empty buffer, rank
+    /// order.
+    pub(crate) fn rank_loads(&self, plan: &crate::xfer::TransferPlan) -> Vec<(usize, u64)> {
+        assert!(self.dpus_per_rank > 0, "a rank holds at least one DPU");
+        let mut loads: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        for &(dpu, bytes) in plan.entries() {
+            if bytes > 0 {
+                *loads.entry(dpu / self.dpus_per_rank).or_insert(0) += bytes;
+            }
+        }
+        loads.into_iter().collect()
+    }
 }
 
 impl Default for TransferModel {
@@ -83,6 +153,7 @@ impl Default for TransferModel {
             rank_bw_gbps: 0.8,
             channel_bw_gbps: 2.5,
             dpus_per_rank: 64,
+            channel_arb_us: 3.0,
         }
     }
 }
@@ -183,6 +254,11 @@ impl HostSim {
 
     /// Issues one batched transfer of `bytes_per_dpu` to/from each of
     /// `n_dpus` DPUs. Returns elapsed seconds.
+    ///
+    /// Legacy single-call accounting (the whole set in one ideal
+    /// batched call); new call sites should describe their traffic as
+    /// a [`crate::TransferPlan`] and use [`HostSim::transfer_plan`],
+    /// which schedules it under a [`crate::HostBatching`] policy.
     pub fn transfer(
         &mut self,
         _direction: TransferDirection,
@@ -194,6 +270,23 @@ impl HostSim {
         self.bytes_moved += n_dpus as u64 * bytes_per_dpu;
         self.transfer_calls += 1;
         elapsed
+    }
+
+    /// Executes a [`crate::TransferPlan`] under `policy`, accumulating
+    /// the modeled seconds, bytes, and the *actual* number of transfer
+    /// calls the chosen schedule issues (one per non-empty buffer for
+    /// per-DPU, one per occupied rank for sharded). Returns the
+    /// planner's estimate.
+    pub fn transfer_plan(
+        &mut self,
+        plan: &crate::xfer::TransferPlan,
+        policy: crate::xfer::HostBatching,
+    ) -> crate::xfer::XferEstimate {
+        let estimate = crate::xfer::ShardedXfer::new(self.transfer_model, policy).estimate(plan);
+        self.transfer_secs += estimate.secs;
+        self.bytes_moved += estimate.bytes;
+        self.transfer_calls += estimate.calls;
+        estimate
     }
 
     /// Seconds spent in host compute so far.
@@ -316,6 +409,22 @@ mod tests {
     #[should_panic(expected = "miss fraction")]
     fn bad_miss_fraction_panics() {
         HostSim::default().parallel_for(1, 1, 1.5);
+    }
+
+    #[test]
+    fn transfer_plan_accounts_calls_by_schedule() {
+        use crate::xfer::{HostBatching, TransferPlan};
+        let plan = TransferPlan::uniform(TransferDirection::HostToPim, 128, 64);
+        let mut h = HostSim::default();
+        let e = h.transfer_plan(&plan, HostBatching::PerDpu);
+        assert_eq!(e.calls, 128);
+        assert_eq!(h.transfer_calls(), 128);
+        assert_eq!(h.bytes_moved(), 128 * 64);
+        h.reset();
+        let e = h.transfer_plan(&plan, HostBatching::Sharded);
+        assert_eq!(e.calls, 2, "128 DPUs = 2 ranks");
+        assert_eq!(h.transfer_calls(), 2);
+        assert!((h.transfer_secs() - e.secs).abs() < 1e-15);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 pub mod wram;
+pub mod xfer;
 
 pub use buddy_cache::{BuddyCache, BuddyCacheConfig, BuddyCacheStats, Eviction, LookupResult};
 pub use cam_overhead::{CamOverhead, CamOverheadModel};
@@ -70,3 +71,4 @@ pub use stats::{DramTraffic, LatencyRecorder, TaskletStats};
 pub use system::{parallel_indexed, PimSystem};
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};
 pub use wram::Wram;
+pub use xfer::{HostBatching, ShardedXfer, TransferPlan, XferEstimate};

@@ -21,6 +21,7 @@
 use crate::cost::Cycles;
 use crate::dpu::{DpuConfig, DpuSim};
 use crate::host::{HostConfig, HostSim, TransferDirection, TransferModel};
+use crate::xfer::{HostBatching, TransferPlan};
 
 /// Fixed host-side overhead of one kernel launch, microseconds
 /// (runtime entry + boot signal fan-out; UPMEM launches cost tens of
@@ -33,12 +34,15 @@ const LAUNCH_US: f64 = 60.0;
 pub struct DpuSet {
     dpus: Vec<DpuSim>,
     host: HostSim,
+    batching: HostBatching,
     elapsed_secs: f64,
     launches: u64,
 }
 
 impl DpuSet {
     /// Allocates `n` DPUs with identical configuration (`dpu_alloc`).
+    /// Transfers default to rank-sharded batching
+    /// ([`HostBatching::Sharded`]) — UPMEM's `dpu_push_xfer` path.
     ///
     /// # Panics
     ///
@@ -48,9 +52,22 @@ impl DpuSet {
         DpuSet {
             dpus: (0..n).map(|_| DpuSim::new(config.clone())).collect(),
             host: HostSim::new(HostConfig::default(), TransferModel::default()),
+            batching: HostBatching::Sharded,
             elapsed_secs: 0.0,
             launches: 0,
         }
+    }
+
+    /// Sets the transfer scheduling policy for subsequent pushes and
+    /// pulls.
+    pub fn with_batching(mut self, batching: HostBatching) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// The transfer scheduling policy in use.
+    pub fn batching(&self) -> HostBatching {
+        self.batching
     }
 
     /// Number of DPUs in the set.
@@ -74,22 +91,24 @@ impl DpuSet {
     }
 
     /// `pimMemcpy(HOST2PIM)`: writes `bytes_per_dpu` to every DPU's
-    /// MRAM through `writer`, charging one batched transfer.
+    /// MRAM through `writer`, scheduled under the set's
+    /// [`HostBatching`] policy (per-rank shards by default).
     pub fn push(&mut self, bytes_per_dpu: u64, mut writer: impl FnMut(usize, &mut crate::Mram)) {
-        self.elapsed_secs +=
-            self.host
-                .transfer(TransferDirection::HostToPim, self.dpus.len(), bytes_per_dpu);
+        let plan =
+            TransferPlan::uniform(TransferDirection::HostToPim, self.dpus.len(), bytes_per_dpu);
+        self.elapsed_secs += self.host.transfer_plan(&plan, self.batching).secs;
         for (idx, dpu) in self.dpus.iter_mut().enumerate() {
             writer(idx, dpu.mram_mut());
         }
     }
 
     /// `pimMemcpy(PIM2HOST)`: reads `bytes_per_dpu` from every DPU's
-    /// MRAM through `reader`, charging one batched transfer.
+    /// MRAM through `reader`, scheduled under the set's
+    /// [`HostBatching`] policy (per-rank shards by default).
     pub fn pull(&mut self, bytes_per_dpu: u64, mut reader: impl FnMut(usize, &crate::Mram)) {
-        self.elapsed_secs +=
-            self.host
-                .transfer(TransferDirection::PimToHost, self.dpus.len(), bytes_per_dpu);
+        let plan =
+            TransferPlan::uniform(TransferDirection::PimToHost, self.dpus.len(), bytes_per_dpu);
+        self.elapsed_secs += self.host.transfer_plan(&plan, self.batching).secs;
         for (idx, dpu) in self.dpus.iter().enumerate() {
             reader(idx, dpu.mram());
         }
@@ -168,6 +187,22 @@ mod tests {
         let mut large = DpuSet::allocate(512, DpuConfig::default());
         large.push(1 << 20, |_, _| {});
         assert!(large.elapsed_secs() > small.elapsed_secs() * 10.0);
+    }
+
+    #[test]
+    fn per_dpu_scheduling_pays_more_call_overhead() {
+        let mut sharded = DpuSet::allocate(256, DpuConfig::default());
+        sharded.push(8, |_, _| {});
+        let mut naive =
+            DpuSet::allocate(256, DpuConfig::default()).with_batching(HostBatching::PerDpu);
+        naive.push(8, |_, _| {});
+        assert!(
+            naive.elapsed_secs() > 10.0 * sharded.elapsed_secs(),
+            "256 per-DPU base overheads vs 4 rank shards: {} vs {}",
+            naive.elapsed_secs(),
+            sharded.elapsed_secs()
+        );
+        assert_eq!(sharded.batching(), HostBatching::Sharded);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property tests of the simulator substrate: conservation laws the
 //! cost model must satisfy under arbitrary operation sequences.
 
-use pim_sim::{Cycles, DpuConfig, DpuSim, TransferModel};
+use pim_sim::{
+    Cycles, DpuConfig, DpuSim, HostBatching, ShardedXfer, TransferDirection, TransferModel,
+    TransferPlan,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -97,5 +100,66 @@ proptest! {
         let interval = 11u64.max(tasklets as u64);
         prop_assert_eq!(dpu.clock(0), Cycles(n * interval));
         prop_assert_eq!(dpu.tasklet_stats(0).instrs, n);
+    }
+
+    /// The headline batching guarantee: for **any** plan and any sane
+    /// transfer model, a rank-sharded schedule never costs more than
+    /// the per-DPU calls it replaces, never issues more calls, moves
+    /// identical bytes — and never pretends to beat the channel's
+    /// aggregate bandwidth.
+    #[test]
+    fn sharded_plan_never_exceeds_per_dpu_calls(
+        base_us in 0.0f64..100.0,
+        rank_bw in 0.05f64..4.0,
+        channel_mult in 1.0f64..8.0,
+        dpus_per_rank in 1usize..130,
+        arb_us in 0.0f64..25.0,
+        entries in proptest::collection::vec((0usize..2048, 0u64..(1 << 22)), 0..96),
+    ) {
+        let model = TransferModel {
+            base_us_per_call: base_us,
+            rank_bw_gbps: rank_bw,
+            // Channel at least as fast as one rank, as in hardware.
+            channel_bw_gbps: rank_bw * channel_mult,
+            dpus_per_rank,
+            channel_arb_us: arb_us,
+        };
+        let mut plan = TransferPlan::new(TransferDirection::HostToPim);
+        for (dpu, bytes) in entries {
+            plan.push(dpu, bytes);
+        }
+        let per_dpu = ShardedXfer::new(model, HostBatching::PerDpu).estimate(&plan);
+        let sharded = ShardedXfer::new(model, HostBatching::Sharded).estimate(&plan);
+        prop_assert!(
+            sharded.secs <= per_dpu.secs + 1e-12,
+            "sharded {} must not exceed per-DPU {}",
+            sharded.secs,
+            per_dpu.secs
+        );
+        prop_assert!(sharded.calls <= per_dpu.calls);
+        prop_assert_eq!(sharded.bytes, per_dpu.bytes);
+        prop_assert_eq!(sharded.bytes, plan.total_bytes());
+        if !plan.is_empty() {
+            let channel_floor = plan.total_bytes() as f64 / (model.channel_bw_gbps * 1e9);
+            prop_assert!(sharded.secs >= channel_floor - 1e-12);
+            prop_assert!(sharded.calls >= 1);
+            prop_assert_eq!(sharded.shards, model.shard_count(&plan));
+        }
+    }
+
+    /// Shard accounting: occupied ranks never exceed either the rank
+    /// count implied by the highest DPU index or the number of
+    /// non-empty buffers, and uniform plans fill ranks in order.
+    #[test]
+    fn shard_count_is_consistent(
+        n_dpus in 1usize..1024,
+        bytes in 1u64..(1 << 16),
+        dpus_per_rank in 1usize..130,
+    ) {
+        let model = TransferModel { dpus_per_rank, ..TransferModel::default() };
+        let plan = TransferPlan::uniform(TransferDirection::PimToHost, n_dpus, bytes);
+        let shards = model.shard_count(&plan);
+        prop_assert_eq!(shards, n_dpus.div_ceil(dpus_per_rank));
+        prop_assert!(shards <= plan.buffer_count());
     }
 }
