@@ -171,6 +171,8 @@ fn emit_ci_report(_c: &mut Criterion) {
     // finite number.
     let json = format!(
         "{{\n  \
+         \"schema_version\": 1,\n  \
+         \"experiment\": \"host_throughput\",\n  \
          \"bench\": \"host_throughput\",\n  \
          \"churn_ops_per_sec\": {churn_ops_per_sec:.1},\n  \
          \"churn_mallocs\": {mallocs},\n  \

@@ -1,17 +1,21 @@
 //! `repro` — regenerate the PIM-malloc paper's tables and figures.
 //!
 //! ```text
-//! repro all [--quick] [--csv DIR] [--json DIR]   run every experiment
-//! repro <id> [--quick] [--csv DIR] [--json DIR]  run one experiment (fig15, ...)
-//! repro list                                     list experiment ids
+//! repro all [FLAGS]      run every experiment
+//! repro <id> [FLAGS]     run one experiment (fig15, trace, ...)
+//! repro list             list experiment ids with descriptions
+//!
+//! FLAGS:
+//!   --quick       trim sweep sizes for a fast smoke run
+//!   --seed N      override the stochastic experiments' workload seeds
+//!                 (LLM trace, graph generator, synthetic traces);
+//!                 defaults to each experiment's fixed seed
+//!   --csv DIR     write each experiment's rows to DIR/<id>.csv
+//!   --json DIR    write DIR/<id>.json (machine-readable, with
+//!                 schema_version and the producing experiment id);
+//!                 for `trace`, also writes the generated traces as
+//!                 DIR/trace-<family>.trace.json
 //! ```
-//!
-//! `--csv DIR` additionally writes each experiment's rows to
-//! `DIR/<id>.csv` (plot-ready series); `--json DIR` writes
-//! `DIR/<id>.json` (machine-readable, with title and paper reference).
-//!
-//! `--quick` trims sweep sizes for a fast smoke run; without it the
-//! experiments use paper-scale parameters where feasible.
 
 use std::collections::BTreeMap;
 use std::env;
@@ -23,18 +27,31 @@ use pim_bench::figures;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let dir_flag = |flag: &str| -> Result<Option<String>, String> {
+    let value_flag = |flag: &str, operand: &str| -> Result<Option<String>, String> {
         match args.iter().position(|a| a == flag) {
             None => Ok(None),
             Some(i) => match args.get(i + 1) {
-                Some(dir) if !dir.starts_with("--") => Ok(Some(dir.clone())),
-                _ => Err(format!("{flag} requires a DIR operand")),
+                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+                _ => Err(format!("{flag} requires a {operand} operand")),
             },
         }
     };
-    let (csv_dir, json_dir) = match (dir_flag("--csv"), dir_flag("--json")) {
-        (Ok(csv), Ok(json)) => (csv, json),
-        (Err(e), _) | (_, Err(e)) => {
+    type Flags = (Option<String>, Option<String>, Option<u64>);
+    let parsed = (|| -> Result<Flags, String> {
+        let csv = value_flag("--csv", "DIR")?;
+        let json = value_flag("--json", "DIR")?;
+        let seed = match value_flag("--seed", "N")? {
+            None => None,
+            Some(s) => Some(
+                s.parse::<u64>()
+                    .map_err(|_| format!("--seed needs a u64, got `{s}`"))?,
+            ),
+        };
+        Ok((csv, json, seed))
+    })();
+    let (csv_dir, json_dir, seed) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
@@ -47,7 +64,7 @@ fn main() -> ExitCode {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--csv" || *a == "--json" {
+                if *a == "--csv" || *a == "--json" || *a == "--seed" {
                     skip_next = true;
                     return false;
                 }
@@ -72,12 +89,26 @@ fn main() -> ExitCode {
                 std::fs::write(&path, e.to_json()).expect("write json");
             }
         }
+        // The trace experiment ships its generated traces alongside
+        // the report, so a replay elsewhere starts from the same files.
+        if let Some(dir) = &json_dir {
+            if experiments.iter().any(|e| e.id == "trace") {
+                for (file, contents) in figures::trace_artifact_files(
+                    quick,
+                    seed.unwrap_or(figures::TRACE_DEFAULT_SEED),
+                ) {
+                    let path = std::path::Path::new(dir).join(file);
+                    std::fs::write(&path, contents).expect("write trace artifact");
+                }
+            }
+        }
     };
 
     match target {
         "list" => {
-            for id in figures::ALL_IDS {
-                println!("{id}");
+            let width = figures::all_ids().map(str::len).max().unwrap_or(0);
+            for (id, description) in figures::CATALOG {
+                println!("{id:width$}  {description}");
             }
             ExitCode::SUCCESS
         }
@@ -91,10 +122,10 @@ fn main() -> ExitCode {
             let results: Mutex<BTreeMap<usize, Vec<pim_bench::Experiment>>> =
                 Mutex::new(BTreeMap::new());
             std::thread::scope(|scope| {
-                for (idx, id) in figures::ALL_IDS.iter().enumerate() {
+                for (idx, id) in figures::all_ids().enumerate() {
                     let results = &results;
                     scope.spawn(move || {
-                        let out = figures::run(id, quick);
+                        let out = figures::run(id, quick, seed);
                         results.lock().insert(idx, out);
                     });
                 }
@@ -107,8 +138,8 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        id if figures::ALL_IDS.contains(&id) => {
-            let experiments = figures::run(id, quick);
+        id if figures::is_known(id) => {
+            let experiments = figures::run(id, quick, seed);
             write_outputs(&experiments);
             for e in experiments {
                 println!("{e}");

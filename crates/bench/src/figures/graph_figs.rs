@@ -11,29 +11,33 @@ use pim_workloads::AllocatorKind;
 
 use crate::report::{Experiment, Row};
 
-fn scaled(quick: bool) -> GraphUpdateConfig {
+fn scaled(quick: bool, seed: u64) -> GraphUpdateConfig {
     if quick {
         GraphUpdateConfig {
             n_dpus: 4,
             n_nodes: 2048,
             base_edges: 6400,
             new_edges: 3200,
+            seed,
             ..GraphUpdateConfig::default()
         }
     } else {
-        GraphUpdateConfig::default()
+        GraphUpdateConfig {
+            seed,
+            ..GraphUpdateConfig::default()
+        }
     }
 }
 
 /// Figure 3(c): graph-update slowdown as the pre-update graph grows
 /// (small → large) with a fixed number of new edges, static vs dynamic.
-pub fn fig3c(quick: bool) -> Experiment {
+pub fn fig3c(quick: bool, seed: u64) -> Experiment {
     let mut e = Experiment::new(
         "fig3c",
         "update slowdown vs pre-update graph size (fixed new edges)",
         "static grows with graph size; dynamic stays flat",
     );
-    let base = scaled(quick);
+    let base = scaled(quick, seed);
     let sizes: [(&str, usize); 3] = [
         ("small", base.base_edges / 4),
         ("medium", base.base_edges),
@@ -74,13 +78,13 @@ pub fn fig3c(quick: bool) -> Experiment {
 /// Figure 11: fraction of `pim_malloc` requests serviced at the
 /// frontend (a) and the backend's share of aggregate allocation
 /// latency (b), across the evaluation workloads.
-pub fn fig11(quick: bool) -> Experiment {
+pub fn fig11(quick: bool, seed: u64) -> Experiment {
     let mut e = Experiment::new(
         "fig11",
         "frontend service fraction and backend latency share",
         "~93% of requests frontend-serviced; backend still ~68% of latency",
     );
-    let base = scaled(quick);
+    let base = scaled(quick, seed);
     let reprs = [GraphRepr::LinkedList, GraphRepr::VarArray];
     let runs = parallel_indexed(reprs.len(), |i| {
         run_graph_update(&GraphUpdateConfig {
@@ -125,14 +129,14 @@ pub fn fig11(quick: bool) -> Experiment {
 /// cycle breakdown, per-tasklet allocation time, and metadata DRAM
 /// traffic, for the static baseline and both dynamic representations
 /// under the three allocators.
-pub fn fig17(quick: bool) -> Experiment {
+pub fn fig17(quick: bool, seed: u64) -> Experiment {
     let mut e = Experiment::new(
         "fig17",
         "graph update: throughput, breakdown, alloc time, metadata traffic",
         "HW/SW: 7.1x (linked list) and 32x (var array) over static; \
          straw-man loses to static; HW/SW moves ~30% less DRAM than SW",
     );
-    let base = scaled(quick);
+    let base = scaled(quick, seed);
     // One static run plus every (representation, allocator) pair, all
     // independent simulations: fan out, then assemble in paper order.
     let grid: Vec<(GraphRepr, AllocatorKind)> =
@@ -203,7 +207,7 @@ mod tests {
 
     #[test]
     fn fig3c_static_degrades_dynamic_flat() {
-        let e = fig3c(true);
+        let e = fig3c(true, 42);
         let s = e.row("Static (CSR)").unwrap();
         assert!(s.value("large").unwrap() > s.value("small").unwrap() * 1.5);
         let d = e.row("Dynamic (Array of linked list)").unwrap();
@@ -219,7 +223,7 @@ mod tests {
 
     #[test]
     fn fig11_frontend_dominates_service_backend_dominates_latency() {
-        let e = fig11(true);
+        let e = fig11(true, 42);
         for row in &e.rows {
             let f = row.value("frontend frac").unwrap();
             assert!(f > 0.75, "{}: frontend fraction {f}", row.label);
@@ -230,7 +234,7 @@ mod tests {
 
     #[test]
     fn fig17_orderings() {
-        let e = fig17(true);
+        let e = fig17(true, 42);
         let straw = e
             .row("Dynamic (Array of linked list) + Straw-man")
             .unwrap()

@@ -16,14 +16,16 @@ use crate::report::{Experiment, Row};
 
 /// Figure 4(b): maximum batch size under static vs dynamic KV-cache
 /// allocation (512 PIM cores, ShareGPT-shaped lengths, Llama-2-7B).
-pub fn fig4b(quick: bool) -> Experiment {
+/// `seed` drives the ShareGPT-shaped length sampler (paper runs use
+/// 11).
+pub fn fig4b(quick: bool, seed: u64) -> Experiment {
     let mut e = Experiment::new(
         "fig4b",
         "maximum batch size, static vs dynamic KV allocation",
         "dynamic roughly doubles the achievable batch (~75 vs ~150)",
     );
     let cfg = LlmConfig::default();
-    let trace = sharegpt_like_trace(if quick { 250 } else { 500 }, 10.0, cfg.max_seq_len, 11);
+    let trace = sharegpt_like_trace(if quick { 250 } else { 500 }, 10.0, cfg.max_seq_len, seed);
     let schemes = [KvScheme::Static, KvScheme::Dynamic(AllocatorKind::Sw)];
     let runs = parallel_indexed(schemes.len(), |i| max_batch_size(schemes[i], &cfg, &trace));
     for (scheme, r) in schemes.into_iter().zip(runs) {
@@ -77,7 +79,7 @@ mod tests {
 
     #[test]
     fn fig4b_dynamic_doubles_batch() {
-        let e = fig4b(true);
+        let e = fig4b(true, 11);
         let st = e.row("Static").unwrap().value("max batch").unwrap();
         let dy = e.row("PIM-malloc-SW").unwrap().value("max batch").unwrap();
         assert!(dy >= 1.5 * st, "dynamic {dy} vs static {st}");

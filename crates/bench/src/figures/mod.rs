@@ -3,6 +3,9 @@
 //! Every function takes `quick: bool`; quick mode trims sweep sizes so
 //! `repro all --quick` completes in well under a minute, while the
 //! default scales match the paper's parameters where feasible.
+//! Stochastic experiments additionally take a `seed`, plumbed from
+//! `repro --seed` (defaulting to the fixed seeds the figures have
+//! always used, so unseeded runs stay byte-identical).
 
 mod batching_figs;
 mod discussion_figs;
@@ -11,6 +14,7 @@ mod graph_figs;
 mod llm_figs;
 mod micro_figs;
 mod overhead_figs;
+mod trace_figs;
 
 pub use batching_figs::host_batching;
 pub use discussion_figs::{discussion_cache_granularity, discussion_future_pim};
@@ -19,48 +23,116 @@ pub use graph_figs::{fig11, fig17, fig3c};
 pub use llm_figs::{fig18, fig4b};
 pub use micro_figs::{ablation_descent, ablation_swlru, fig15, fig16, fig7, fig8};
 pub use overhead_figs::{hw_overhead, metadata_overhead, table3};
+pub use trace_figs::{scenario_families, trace_artifact_files, trace_replay, TRACE_DEFAULT_SEED};
 
 use crate::report::Experiment;
 
-/// Every experiment id, in paper order (extensions last).
-pub const ALL_IDS: [&str; 17] = [
-    "fig3c",
-    "fig4b",
-    "fig6a",
-    "fig6b",
-    "fig7",
-    "fig8",
-    "fig11",
-    "fig15",
-    "fig16",
-    "fig17",
-    "fig18",
-    "table3",
-    "metadata-overhead",
-    "hw-overhead",
-    "ablations",
-    "discussion",
-    "host-batching",
+/// Fixed seed of the ShareGPT-shaped LLM trace (Figure 4(b)).
+const LLM_DEFAULT_SEED: u64 = 11;
+/// Fixed seed of the graph-update workload generator.
+const GRAPH_DEFAULT_SEED: u64 = 42;
+
+/// Every experiment id with a one-line description, in paper order
+/// (extensions last). `repro list` prints this catalogue.
+pub const CATALOG: [(&str, &str); 18] = [
+    (
+        "fig3c",
+        "graph-update slowdown vs pre-update graph size, static vs dynamic",
+    ),
+    (
+        "fig4b",
+        "maximum LLM batch size under static vs dynamic KV allocation",
+    ),
+    (
+        "fig6a",
+        "DSE: allocation latency vs PIM-core count, four strategies",
+    ),
+    ("fig6b", "DSE: latency breakdown at 512 PIM cores"),
+    (
+        "fig7",
+        "straw-man slowdown over heap size x (de)allocation size",
+    ),
+    (
+        "fig8",
+        "straw-man latency over a request sequence + cycle breakdown",
+    ),
+    (
+        "fig11",
+        "frontend service fraction and backend latency share",
+    ),
+    (
+        "fig15",
+        "average pim_malloc latency across the three allocator designs",
+    ),
+    (
+        "fig16",
+        "buddy-cache size sensitivity (speedup and hit rate)",
+    ),
+    (
+        "fig17",
+        "graph update: throughput, breakdown, alloc time, metadata traffic",
+    ),
+    (
+        "fig18",
+        "LLM serving throughput and TPOT percentiles across schemes",
+    ),
+    ("table3", "memory fragmentation A/U, eager vs lazy"),
+    (
+        "metadata-overhead",
+        "allocator metadata footprint per DPU",
+    ),
+    (
+        "hw-overhead",
+        "buddy-cache area / power / latency on a DRAM process",
+    ),
+    (
+        "ablations",
+        "fine-grained SW LRU and descent-policy ablations",
+    ),
+    (
+        "discussion",
+        "future-PIM projection and cache-granularity comparison",
+    ),
+    (
+        "host-batching",
+        "per-DPU vs rank-sharded host<->PIM transfer scheduling",
+    ),
+    (
+        "trace",
+        "allocation-trace subsystem: synthetic scenario families x allocators, record/replay fidelity",
+    ),
 ];
 
+/// Every experiment id, in catalogue order.
+pub fn all_ids() -> impl Iterator<Item = &'static str> {
+    CATALOG.iter().map(|&(id, _)| id)
+}
+
+/// True if `id` names a known experiment.
+pub fn is_known(id: &str) -> bool {
+    all_ids().any(|known| known == id)
+}
+
 /// Runs one experiment by id. `ablations` bundles the §IV-B fine-LRU
-/// ablation and the descent-policy ablation.
+/// ablation and the descent-policy ablation. `seed` overrides the
+/// stochastic experiments' workload seeds (LLM trace, graph generator,
+/// synthetic traces); `None` keeps each experiment's fixed default.
 ///
 /// # Panics
 ///
-/// Panics on an unknown id; `ALL_IDS` lists the valid ones.
-pub fn run(id: &str, quick: bool) -> Vec<Experiment> {
+/// Panics on an unknown id; [`CATALOG`] lists the valid ones.
+pub fn run(id: &str, quick: bool, seed: Option<u64>) -> Vec<Experiment> {
     match id {
-        "fig3c" => vec![fig3c(quick)],
-        "fig4b" => vec![fig4b(quick)],
+        "fig3c" => vec![fig3c(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
+        "fig4b" => vec![fig4b(quick, seed.unwrap_or(LLM_DEFAULT_SEED))],
         "fig6a" => vec![fig6a(quick)],
         "fig6b" => vec![fig6b(quick)],
         "fig7" => vec![fig7(quick)],
         "fig8" => vec![fig8(quick)],
-        "fig11" => vec![fig11(quick)],
+        "fig11" => vec![fig11(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
         "fig15" => vec![fig15(quick)],
         "fig16" => vec![fig16(quick)],
-        "fig17" => vec![fig17(quick)],
+        "fig17" => vec![fig17(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
         "fig18" => vec![fig18(quick)],
         "table3" => vec![table3(quick)],
         "metadata-overhead" => vec![metadata_overhead()],
@@ -71,7 +143,11 @@ pub fn run(id: &str, quick: bool) -> Vec<Experiment> {
             discussion_cache_granularity(quick),
         ],
         "host-batching" => vec![host_batching(quick)],
-        other => panic!("unknown experiment id `{other}`; valid ids: {ALL_IDS:?}"),
+        "trace" => vec![trace_replay(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
+        other => {
+            let ids: Vec<&str> = all_ids().collect();
+            panic!("unknown experiment id `{other}`; valid ids: {ids:?}")
+        }
     }
 }
 
@@ -81,8 +157,9 @@ mod tests {
 
     #[test]
     fn every_listed_id_runs_in_quick_mode() {
-        for id in ALL_IDS {
-            let out = run(id, true);
+        for (id, description) in CATALOG {
+            assert!(!description.is_empty(), "{id} needs a description");
+            let out = run(id, true, None);
             assert!(!out.is_empty(), "{id} produced no experiments");
             for e in out {
                 assert!(!e.rows.is_empty(), "{id} produced an empty table");
@@ -91,8 +168,17 @@ mod tests {
     }
 
     #[test]
+    fn seeds_default_when_unset() {
+        // An explicit seed equal to the default reproduces the
+        // unseeded run exactly.
+        let a = run("fig4b", true, None);
+        let b = run("fig4b", true, Some(LLM_DEFAULT_SEED));
+        assert_eq!(a[0].to_json(), b[0].to_json());
+    }
+
+    #[test]
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
-        run("fig99", true);
+        run("fig99", true, None);
     }
 }

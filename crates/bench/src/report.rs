@@ -5,6 +5,11 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// Version stamp written into every experiment's JSON rendering, so
+/// downstream consumers (the CI `jq` gates, plot scripts) can assert
+/// the layout they were written against. Bump on incompatible change.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
 /// One row of an experiment's result table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Row {
@@ -102,8 +107,9 @@ impl Experiment {
         out
     }
 
-    /// Renders the experiment as a JSON object: id, title, paper
-    /// reference, and rows as `{label, values: {column: value}}`.
+    /// Renders the experiment as a JSON object: schema version, id
+    /// (the producing experiment), title, paper reference, and rows as
+    /// `{label, values: {column: value}}`.
     pub fn to_json(&self) -> String {
         use serde_json::Value;
         use std::collections::BTreeMap;
@@ -124,6 +130,10 @@ impl Experiment {
             })
             .collect();
         let mut obj = BTreeMap::new();
+        obj.insert(
+            "schema_version".to_owned(),
+            Value::from(REPORT_SCHEMA_VERSION),
+        );
         obj.insert("id".to_owned(), Value::from(self.id.as_str()));
         obj.insert("title".to_owned(), Value::from(self.title.as_str()));
         obj.insert(
@@ -218,8 +228,16 @@ mod tests {
         let json = e.to_json();
         assert_eq!(
             json,
-            r#"{"id":"fig0","paper_reference":"n/a","rows":[{"label":"alpha","values":{"lat":1.5}}],"title":"test \"figure\""}"#
+            r#"{"id":"fig0","paper_reference":"n/a","rows":[{"label":"alpha","values":{"lat":1.5}}],"schema_version":1,"title":"test \"figure\""}"#
         );
+        // Machine-checkable by the CI gate: parses back with the
+        // version stamp and producing experiment id.
+        let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(REPORT_SCHEMA_VERSION)
+        );
+        assert_eq!(v.get("id").unwrap().as_str(), Some("fig0"));
     }
 
     #[test]

@@ -39,3 +39,24 @@ pub trait PimAllocator {
     /// traffic, buddy-cache hit rates) behind a `dyn PimAllocator`.
     fn as_any(&self) -> &dyn Any;
 }
+
+/// Boxed allocators are allocators, so adapters that are generic over
+/// `A: PimAllocator` (e.g. a trace recorder) can wrap the
+/// `Box<dyn PimAllocator>` the workload builders hand out.
+impl<A: PimAllocator + ?Sized> PimAllocator for Box<A> {
+    fn pim_malloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
+        (**self).pim_malloc(ctx, size)
+    }
+
+    fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
+        (**self).pim_free(ctx, addr)
+    }
+
+    fn alloc_stats(&self) -> &AllocStats {
+        (**self).alloc_stats()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        (**self).as_any()
+    }
+}

@@ -53,6 +53,7 @@ pub mod host;
 pub mod iram;
 pub mod mram;
 pub mod runtime;
+pub mod sched;
 pub mod stats;
 pub mod system;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use host::{HostConfig, HostSim, TransferDirection, TransferModel};
 pub use iram::Iram;
 pub use mram::Mram;
 pub use runtime::DpuSet;
+pub use sched::VirtualTimeQueue;
 pub use stats::{DramTraffic, LatencyRecorder, TaskletStats};
 pub use system::{parallel_indexed, PimSystem};
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};

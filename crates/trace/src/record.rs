@@ -1,0 +1,245 @@
+//! Recording traces from live workloads.
+//!
+//! [`TraceRecorder`] wraps any [`PimAllocator`] and observes the
+//! stream of calls each tasklet makes: allocator calls become
+//! [`TraceOp::Malloc`]/[`TraceOp::Free`] events (with a cross-tasklet
+//! [`TraceOp::RemoteFree`] edge when a tasklet frees memory another
+//! tasklet allocated), and the virtual-time gaps *between* a tasklet's
+//! calls become [`TraceOp::Compute`] events. Because the recorder only
+//! reads the context clock, wrapping an allocator never perturbs the
+//! run being recorded — the workload's results are identical with and
+//! without it.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use pim_malloc::{AllocError, AllocStats, PimAllocator};
+use pim_sim::{Cycles, TaskletCtx};
+
+use crate::format::{AllocTrace, TraceOp};
+
+/// A [`PimAllocator`] wrapper that records every call into an
+/// [`AllocTrace`] while forwarding to the wrapped allocator.
+#[derive(Debug)]
+pub struct TraceRecorder<A> {
+    inner: A,
+    name: String,
+    heap_size: u32,
+    streams: Vec<Vec<TraceOp>>,
+    /// End time of each tasklet's previous recorded event; the gap to
+    /// the next call is that tasklet's compute. `None` until the first
+    /// call — allocator-init time before recording is not workload
+    /// compute, so the first event records no gap.
+    last_end: Vec<Option<Cycles>>,
+    /// Next unused slot id per tasklet (slots are never reused, so
+    /// recorder-produced traces have no shadow frees).
+    next_slot: Vec<u32>,
+    /// Live address → (owner tasklet, slot).
+    by_addr: HashMap<u32, (u32, u32)>,
+}
+
+impl<A: PimAllocator> TraceRecorder<A> {
+    /// Wraps `inner`, recording a trace named `name` for `n_tasklets`
+    /// tasklets against a `heap_size`-byte heap.
+    pub fn new(inner: A, name: impl Into<String>, heap_size: u32, n_tasklets: usize) -> Self {
+        TraceRecorder {
+            inner,
+            name: name.into(),
+            heap_size,
+            streams: vec![Vec::new(); n_tasklets],
+            last_end: vec![None; n_tasklets],
+            next_slot: vec![0; n_tasklets],
+            by_addr: HashMap::new(),
+        }
+    }
+
+    /// The wrapped allocator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Finishes recording, returning the trace and the allocator.
+    pub fn into_trace(self) -> (AllocTrace, A) {
+        (
+            AllocTrace {
+                name: self.name,
+                n_tasklets: self.streams.len(),
+                heap_size: self.heap_size,
+                streams: self.streams,
+            },
+            self.inner,
+        )
+    }
+
+    /// Records the compute gap since `tid`'s previous event, if any.
+    fn record_gap(&mut self, tid: usize, start: Cycles) {
+        if let Some(prev) = self.last_end[tid] {
+            let gap = start.saturating_sub(prev);
+            if gap > Cycles::ZERO {
+                self.streams[tid].push(TraceOp::Compute { cycles: gap.0 });
+            }
+        }
+    }
+
+    /// Records a span that must replay as pure compute (failed calls,
+    /// frees of addresses the recorder never saw): the gap before the
+    /// call plus the call's own duration, in one event.
+    fn record_opaque(&mut self, tid: usize, start: Cycles, end: Cycles) {
+        let total = end.saturating_sub(self.last_end[tid].unwrap_or(start));
+        if total > Cycles::ZERO {
+            self.streams[tid].push(TraceOp::Compute { cycles: total.0 });
+        }
+    }
+}
+
+impl<A: PimAllocator> PimAllocator for TraceRecorder<A> {
+    fn pim_malloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
+        let tid = ctx.tid();
+        let start = ctx.now();
+        let result = self.inner.pim_malloc(ctx, size);
+        let end = ctx.now();
+        match &result {
+            Ok(addr) => {
+                self.record_gap(tid, start);
+                let slot = self.next_slot[tid];
+                self.next_slot[tid] += 1;
+                self.streams[tid].push(TraceOp::Malloc { size, slot });
+                self.by_addr.insert(*addr, (tid as u32, slot));
+            }
+            Err(_) => self.record_opaque(tid, start, end),
+        }
+        self.last_end[tid] = Some(end);
+        result
+    }
+
+    fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
+        let tid = ctx.tid();
+        let start = ctx.now();
+        let result = self.inner.pim_free(ctx, addr);
+        let end = ctx.now();
+        match (&result, self.by_addr.remove(&addr)) {
+            (Ok(()), Some((owner, slot))) => {
+                self.record_gap(tid, start);
+                self.streams[tid].push(if owner as usize == tid {
+                    TraceOp::Free { slot }
+                } else {
+                    TraceOp::RemoteFree {
+                        tasklet: owner,
+                        slot,
+                    }
+                });
+            }
+            (Ok(()), None) | (Err(_), _) => self.record_opaque(tid, start, end),
+        }
+        self.last_end[tid] = Some(end);
+        result
+    }
+
+    fn alloc_stats(&self) -> &AllocStats {
+        self.inner.alloc_stats()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        // Forward so implementation-specific stats probes (metadata
+        // traffic, buddy-cache hit rates) still find the real type.
+        self.inner.as_any()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_malloc::{PimMalloc, PimMallocConfig};
+    use pim_sim::{DpuConfig, DpuSim};
+
+    fn setup(tasklets: usize) -> (DpuSim, TraceRecorder<PimMalloc>) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
+        let cfg = PimMallocConfig::sw(tasklets).with_heap_size(1 << 20);
+        let inner = PimMalloc::init(&mut dpu, cfg).expect("init");
+        let rec = TraceRecorder::new(inner, "test", 1 << 20, tasklets);
+        (dpu, rec)
+    }
+
+    #[test]
+    fn records_malloc_free_and_compute_gaps() {
+        let (mut dpu, mut rec) = setup(1);
+        let addr = {
+            let mut ctx = dpu.ctx(0);
+            rec.pim_malloc(&mut ctx, 64).unwrap()
+        };
+        {
+            let mut ctx = dpu.ctx(0);
+            ctx.instrs(100); // compute between the two calls
+            rec.pim_free(&mut ctx, addr).unwrap();
+        }
+        let (trace, _alloc) = rec.into_trace();
+        assert_eq!(trace.n_tasklets, 1);
+        // Time before the first call (allocator init) is not compute.
+        assert_eq!(trace.streams[0][0], TraceOp::Malloc { size: 64, slot: 0 });
+        assert!(matches!(trace.streams[0][1], TraceOp::Compute { cycles } if cycles >= 100));
+        assert_eq!(trace.streams[0][2], TraceOp::Free { slot: 0 });
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn cross_tasklet_free_becomes_remote_edge() {
+        let (mut dpu, mut rec) = setup(2);
+        let addr = {
+            let mut ctx = dpu.ctx(0);
+            rec.pim_malloc(&mut ctx, 128).unwrap()
+        };
+        {
+            let mut ctx = dpu.ctx(1);
+            rec.pim_free(&mut ctx, addr).unwrap();
+        }
+        let (trace, _alloc) = rec.into_trace();
+        assert_eq!(trace.streams[0][0], TraceOp::Malloc { size: 128, slot: 0 });
+        assert!(trace.streams[1].iter().any(|op| matches!(
+            op,
+            TraceOp::RemoteFree {
+                tasklet: 0,
+                slot: 0
+            }
+        )));
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        // The same call sequence with and without the recorder leaves
+        // identical clocks and addresses.
+        let run = |record: bool| -> (Vec<u32>, Cycles) {
+            let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(2));
+            let cfg = PimMallocConfig::sw(2).with_heap_size(1 << 20);
+            let inner = PimMalloc::init(&mut dpu, cfg).expect("init");
+            let mut plain: Box<dyn PimAllocator> = if record {
+                Box::new(TraceRecorder::new(inner, "t", 1 << 20, 2))
+            } else {
+                Box::new(inner)
+            };
+            let mut addrs = Vec::new();
+            for i in 0..10u32 {
+                let tid = (i % 2) as usize;
+                let mut ctx = dpu.ctx(tid);
+                addrs.push(plain.pim_malloc(&mut ctx, 32 + i).unwrap());
+            }
+            (addrs, dpu.max_clock())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn failed_calls_replay_as_compute() {
+        let (mut dpu, mut rec) = setup(1);
+        {
+            let mut ctx = dpu.ctx(0);
+            // Over-heap request fails and must not become a Malloc op.
+            assert!(rec.pim_malloc(&mut ctx, 1 << 30).is_err());
+            // Free of an address the recorder never saw.
+            let _ = rec.pim_free(&mut ctx, 0xdead_beef);
+        }
+        let (trace, _alloc) = rec.into_trace();
+        assert!(trace.streams[0]
+            .iter()
+            .all(|op| matches!(op, TraceOp::Compute { .. })));
+    }
+}

@@ -1,0 +1,450 @@
+//! Deterministic trace replay.
+//!
+//! [`replay`] drives one DPU's allocator with an [`AllocTrace`] under
+//! the same virtual-time discipline as the workloads driver — in fact
+//! the driver *is* this engine (it converts its request streams to
+//! trace ops and delegates), so a trace recorded from a driver
+//! workload replays to byte-identical latency results by construction.
+//! [`replay_fleet`] scales one trace across a multi-DPU system: the
+//! host first distributes the trace bytes under a [`HostBatching`]
+//! policy, then every DPU replays it as a share-nothing simulation on
+//! the parallel engine.
+
+use pim_malloc::{AllocError, PimAllocator};
+use pim_sim::{
+    parallel_indexed, Cycles, DpuConfig, DpuSim, HostBatching, LatencyRecorder, ShardedXfer,
+    TransferDirection, TransferModel, TransferPlan, VirtualTimeQueue, XferEstimate,
+};
+
+use crate::format::{AllocTrace, TraceOp};
+
+/// How many times a [`TraceOp::RemoteFree`] re-waits for its producer
+/// before the edge is dropped as unsatisfiable (producer OOM'd or the
+/// trace is malformed). Each retry strictly advances the consumer's
+/// clock past the producer's, so replay always terminates.
+const REMOTE_FREE_RETRY_LIMIT: u32 = 1000;
+
+/// Outcome of replaying one trace on one DPU.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Latency of every `Malloc` event, in completion order.
+    pub malloc_latencies: LatencyRecorder,
+    /// `(completion time, latency)` of every `Malloc`, in completion
+    /// order — the latency-over-time series of the paper's plots.
+    pub timeline: Vec<(Cycles, Cycles)>,
+    /// Per-tasklet total `pim_malloc` time.
+    pub per_tasklet_malloc: Vec<Cycles>,
+    /// `Malloc` events that failed with out-of-memory.
+    pub oom_count: u64,
+    /// Cross-tasklet free edges dropped because the producer never
+    /// filled the slot (see [`REMOTE_FREE_RETRY_LIMIT`]).
+    pub dropped_frees: u64,
+    /// Virtual time when the last tasklet finished.
+    pub finish: Cycles,
+}
+
+/// Replays `trace` against `alloc` on `dpu`.
+///
+/// Semantics per op: `Malloc` allocates and (driver-style) frees any
+/// address shadowed in its slot; `Free` frees the tasklet's own slot
+/// (no-op if empty); `RemoteFree` frees another tasklet's slot,
+/// waiting (bounded) until the producer has filled it; `Compute`
+/// advances the tasklet's clock. Out-of-memory is counted and the
+/// stream continues; other allocator errors panic, since the replayer
+/// only frees slots it has filled.
+///
+/// # Panics
+///
+/// Panics if the trace needs more tasklets than `dpu` has, or on a
+/// non-OOM allocator error.
+pub fn replay(dpu: &mut DpuSim, alloc: &mut dyn PimAllocator, trace: &AllocTrace) -> ReplayResult {
+    replay_streams(dpu, alloc, &trace.streams)
+}
+
+/// [`replay`] over raw per-tasklet streams (no surrounding
+/// [`AllocTrace`] header) — the entry point the workloads driver
+/// delegates to.
+///
+/// # Panics
+///
+/// As [`replay`].
+pub fn replay_streams(
+    dpu: &mut DpuSim,
+    alloc: &mut dyn PimAllocator,
+    streams: &[Vec<TraceOp>],
+) -> ReplayResult {
+    assert!(
+        streams.len() <= dpu.config().n_tasklets,
+        "more streams ({}) than tasklets ({})",
+        streams.len(),
+        dpu.config().n_tasklets
+    );
+    let n = streams.len();
+    let mut next_op = vec![0usize; n];
+    let mut retries = vec![0u32; n];
+    let mut slots: Vec<Vec<Option<u32>>> = streams
+        .iter()
+        .map(|s| {
+            let max_slot = s
+                .iter()
+                .map(|op| match op {
+                    TraceOp::Malloc { slot, .. } | TraceOp::Free { slot } => *slot as usize + 1,
+                    TraceOp::RemoteFree { .. } | TraceOp::Compute { .. } => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            vec![None; max_slot]
+        })
+        .collect();
+    // Remote edges may name slots beyond any local Malloc/Free in the
+    // owner's stream; grow owner tables up front so indexing is safe.
+    for stream in streams {
+        for op in stream {
+            if let TraceOp::RemoteFree { tasklet, slot } = *op {
+                let table = &mut slots[tasklet as usize];
+                if table.len() <= slot as usize {
+                    table.resize(slot as usize + 1, None);
+                }
+            }
+        }
+    }
+    let mut result = ReplayResult {
+        malloc_latencies: LatencyRecorder::new(),
+        timeline: Vec::new(),
+        per_tasklet_malloc: vec![Cycles::ZERO; n],
+        oom_count: 0,
+        dropped_frees: 0,
+        finish: Cycles::ZERO,
+    };
+
+    // Always advance the unfinished tasklet with the smallest clock.
+    let mut queue = VirtualTimeQueue::new(dpu, (0..n).filter(|&t| !streams[t].is_empty()));
+    while let Some(tid) = queue.pop(dpu) {
+        let op = streams[tid][next_op[tid]];
+        let mut advanced = true;
+        match op {
+            TraceOp::Malloc { size, slot } => {
+                let mut ctx = dpu.ctx(tid);
+                let start = ctx.now();
+                match alloc.pim_malloc(&mut ctx, size) {
+                    Ok(addr) => {
+                        let end = ctx.now();
+                        let latency = end - start;
+                        result.malloc_latencies.record(latency);
+                        result.timeline.push((end, latency));
+                        result.per_tasklet_malloc[tid] += latency;
+                        if let Some(prev) = slots[tid][slot as usize].replace(addr) {
+                            // Slot reuse frees the shadowed allocation
+                            // to keep the heap from leaking.
+                            let mut ctx = dpu.ctx(tid);
+                            alloc.pim_free(&mut ctx, prev).expect("shadowed slot frees");
+                        }
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => result.oom_count += 1,
+                    Err(e) => panic!("malloc failed: {e}"),
+                }
+            }
+            TraceOp::Free { slot } => {
+                if let Some(addr) = slots[tid][slot as usize].take() {
+                    let mut ctx = dpu.ctx(tid);
+                    alloc
+                        .pim_free(&mut ctx, addr)
+                        .expect("replayer frees live slots");
+                }
+            }
+            TraceOp::RemoteFree { tasklet, slot } => {
+                let owner = tasklet as usize;
+                match slots[owner][slot as usize].take() {
+                    Some(addr) => {
+                        let mut ctx = dpu.ctx(tid);
+                        ctx.mram_read(addr, 8); // load the shared pointer
+                        alloc
+                            .pim_free(&mut ctx, addr)
+                            .expect("replayer frees live slots");
+                    }
+                    None => {
+                        let owner_pending = owner != tid && next_op[owner] < streams[owner].len();
+                        if owner_pending && retries[tid] < REMOTE_FREE_RETRY_LIMIT {
+                            // Producer hasn't filled the slot yet: spin
+                            // past its clock and retry this op. The
+                            // queue pops smallest-clock first, so the
+                            // producer runs before we come back.
+                            retries[tid] += 1;
+                            let wake = dpu.clock(owner).max(dpu.clock(tid)) + Cycles(1);
+                            dpu.ctx(tid).wait_until(wake);
+                            advanced = false;
+                        } else {
+                            result.dropped_frees += 1;
+                        }
+                    }
+                }
+            }
+            TraceOp::Compute { cycles } => {
+                let mut ctx = dpu.ctx(tid);
+                let t = ctx.now() + Cycles(cycles);
+                ctx.wait_until(t);
+            }
+        }
+        if advanced {
+            retries[tid] = 0;
+            next_op[tid] += 1;
+        }
+        if next_op[tid] < streams[tid].len() {
+            queue.push(dpu, tid);
+        }
+    }
+    result.finish = dpu.max_clock();
+    result
+}
+
+/// Multi-DPU replay configuration: fleet size, how the host distributes
+/// the trace, and whether DPU simulations fan out over worker threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// DPUs replaying the trace (each runs the whole trace, SPMD).
+    pub n_dpus: usize,
+    /// How the host schedules the trace-distribution push.
+    pub batching: HostBatching,
+    /// Host↔PIM transfer model for the distribution push.
+    pub transfer: TransferModel,
+    /// Fan DPU simulations over worker threads (`parallel_indexed`) or
+    /// run them serially — results are identical either way.
+    pub parallel: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_dpus: 16,
+            batching: HostBatching::Sharded,
+            transfer: TransferModel::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// Outcome of a fleet replay.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-DPU replay outcomes, in DPU-index order.
+    pub per_dpu: Vec<ReplayResult>,
+    /// Modeled host cost of pushing the trace to every DPU.
+    pub distribution: XferEstimate,
+    /// Slowest DPU's finish time.
+    pub kernel_finish: Cycles,
+}
+
+impl FleetResult {
+    /// Mean malloc latency across all DPUs, in cycles.
+    pub fn mean_latency(&self) -> Cycles {
+        let (sum, count) = self.per_dpu.iter().fold((0u64, 0u64), |(s, c), r| {
+            (
+                s + r
+                    .malloc_latencies
+                    .samples()
+                    .iter()
+                    .map(|l| l.0)
+                    .sum::<u64>(),
+                c + r.malloc_latencies.len() as u64,
+            )
+        });
+        Cycles(sum.checked_div(count).unwrap_or(0))
+    }
+
+    /// Total out-of-memory events across the fleet.
+    pub fn oom_count(&self) -> u64 {
+        self.per_dpu.iter().map(|r| r.oom_count).sum()
+    }
+}
+
+/// Replays `trace` on `cfg.n_dpus` share-nothing DPUs, each with an
+/// allocator built by `build`, and prices the host's trace
+/// distribution under `cfg.batching`.
+///
+/// Deterministic regardless of `cfg.parallel` and the worker count:
+/// every DPU's simulation is independent and results merge in
+/// DPU-index order.
+///
+/// # Panics
+///
+/// Panics if the trace is invalid, needs more than 24 tasklets, or
+/// `cfg.n_dpus` is zero.
+pub fn replay_fleet<B>(trace: &AllocTrace, cfg: &FleetConfig, build: B) -> FleetResult
+where
+    B: Fn(&mut DpuSim) -> Box<dyn PimAllocator> + Sync,
+{
+    trace.validate().expect("fleet replays validated traces");
+    assert!(cfg.n_dpus > 0, "fleet needs at least one DPU");
+    let plan = TransferPlan::uniform(TransferDirection::HostToPim, cfg.n_dpus, trace.wire_bytes());
+    let distribution = ShardedXfer::new(cfg.transfer, cfg.batching).estimate(&plan);
+    let run_one = |_idx: usize| -> ReplayResult {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(trace.n_tasklets));
+        let mut alloc = build(&mut dpu);
+        replay(&mut dpu, alloc.as_mut(), trace)
+    };
+    let per_dpu: Vec<ReplayResult> = if cfg.parallel {
+        parallel_indexed(cfg.n_dpus, run_one)
+    } else {
+        (0..cfg.n_dpus).map(run_one).collect()
+    };
+    let kernel_finish = per_dpu
+        .iter()
+        .map(|r| r.finish)
+        .max()
+        .unwrap_or(Cycles::ZERO);
+    FleetResult {
+        per_dpu,
+        distribution,
+        kernel_finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_malloc::{PimMalloc, PimMallocConfig};
+
+    fn dpu(tasklets: usize) -> DpuSim {
+        DpuSim::new(DpuConfig::default().with_tasklets(tasklets))
+    }
+
+    fn sw_alloc(dpu: &mut DpuSim, tasklets: usize, heap: u32) -> Box<dyn PimAllocator> {
+        let cfg = PimMallocConfig::sw(tasklets).with_heap_size(heap);
+        Box::new(PimMalloc::init(dpu, cfg).expect("init"))
+    }
+
+    #[test]
+    fn malloc_free_compute_replays() {
+        let mut t = AllocTrace::new("t", 1 << 20, 1);
+        t.streams[0] = vec![
+            TraceOp::Compute { cycles: 500 },
+            TraceOp::Malloc { size: 64, slot: 0 },
+            TraceOp::Free { slot: 0 },
+            TraceOp::Malloc { size: 64, slot: 0 },
+        ];
+        let mut d = dpu(1);
+        let mut a = sw_alloc(&mut d, 1, 1 << 20);
+        let r = replay(&mut d, a.as_mut(), &t);
+        assert_eq!(r.malloc_latencies.len(), 2);
+        assert_eq!(r.oom_count, 0);
+        assert_eq!(r.dropped_frees, 0);
+        assert!(r.finish >= Cycles(500));
+    }
+
+    #[test]
+    fn remote_free_waits_for_producer() {
+        // Producer (tasklet 0) computes a long time before filling
+        // slot 0; consumer (tasklet 1) frees it remotely. The consumer
+        // must wait for the producer rather than dropping the edge.
+        let mut t = AllocTrace::new("pc", 1 << 20, 2);
+        t.streams[0] = vec![
+            TraceOp::Compute { cycles: 10_000 },
+            TraceOp::Malloc { size: 256, slot: 0 },
+        ];
+        t.streams[1] = vec![TraceOp::RemoteFree {
+            tasklet: 0,
+            slot: 0,
+        }];
+        let mut d = dpu(2);
+        let mut a = sw_alloc(&mut d, 2, 1 << 20);
+        let r = replay(&mut d, a.as_mut(), &t);
+        assert_eq!(r.dropped_frees, 0);
+        assert_eq!(r.malloc_latencies.len(), 1);
+        // Consumer finished after the producer's compute span.
+        assert!(d.clock(1) > Cycles(10_000));
+    }
+
+    #[test]
+    fn unsatisfiable_remote_free_is_dropped() {
+        // The producer never fills the slot; the edge drops after
+        // bounded retries instead of hanging.
+        let mut t = AllocTrace::new("drop", 1 << 20, 2);
+        t.streams[0] = vec![TraceOp::Compute { cycles: 1 }];
+        t.streams[1] = vec![TraceOp::RemoteFree {
+            tasklet: 0,
+            slot: 5,
+        }];
+        let mut d = dpu(2);
+        let mut a = sw_alloc(&mut d, 2, 1 << 20);
+        let r = replay(&mut d, a.as_mut(), &t);
+        assert_eq!(r.dropped_frees, 1);
+    }
+
+    #[test]
+    fn mutual_remote_waits_terminate() {
+        // Two tasklets each waiting on a slot the other never fills:
+        // the retry budget breaks the cycle deterministically.
+        let mut t = AllocTrace::new("cycle", 1 << 20, 2);
+        t.streams[0] = vec![TraceOp::RemoteFree {
+            tasklet: 1,
+            slot: 0,
+        }];
+        t.streams[1] = vec![TraceOp::RemoteFree {
+            tasklet: 0,
+            slot: 0,
+        }];
+        let mut d = dpu(2);
+        let mut a = sw_alloc(&mut d, 2, 1 << 20);
+        let r = replay(&mut d, a.as_mut(), &t);
+        assert_eq!(r.dropped_frees, 2);
+    }
+
+    #[test]
+    fn shadowed_slot_is_freed_on_reuse() {
+        let mut t = AllocTrace::new("shadow", 1 << 20, 1);
+        t.streams[0] = (0..100)
+            .map(|_| TraceOp::Malloc {
+                size: 4096,
+                slot: 0,
+            })
+            .collect();
+        let mut d = dpu(1);
+        let mut a = sw_alloc(&mut d, 1, 1 << 20);
+        let r = replay(&mut d, a.as_mut(), &t);
+        // 100 allocations through one slot never exhaust a 1 MB heap.
+        assert_eq!(r.oom_count, 0);
+        assert_eq!(r.malloc_latencies.len(), 100);
+    }
+
+    #[test]
+    fn fleet_replay_is_deterministic_across_engines() {
+        let mut t = AllocTrace::new("fleet", 1 << 20, 4);
+        for tid in 0..4 {
+            t.streams[tid] = (0..32)
+                .map(|i| TraceOp::Malloc {
+                    size: 32 + 8 * (i % 5),
+                    slot: i,
+                })
+                .collect();
+        }
+        let build = |dpu: &mut DpuSim| -> Box<dyn PimAllocator> { sw_alloc(dpu, 4, 1 << 20) };
+        let par = replay_fleet(&t, &FleetConfig::default(), build);
+        let ser = replay_fleet(
+            &t,
+            &FleetConfig {
+                parallel: false,
+                ..FleetConfig::default()
+            },
+            build,
+        );
+        assert_eq!(par.per_dpu.len(), 16);
+        for (p, s) in par.per_dpu.iter().zip(&ser.per_dpu) {
+            assert_eq!(p.timeline, s.timeline);
+        }
+        assert_eq!(par.kernel_finish, ser.kernel_finish);
+        assert_eq!(par.mean_latency(), ser.mean_latency());
+        assert!(par.distribution.bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams")]
+    fn too_many_streams_rejected() {
+        let t = AllocTrace::new("big", 1 << 20, 2);
+        let mut d = dpu(1);
+        let mut a = sw_alloc(&mut d, 1, 1 << 20);
+        let mut streams = t.streams;
+        streams[0].push(TraceOp::Compute { cycles: 1 });
+        streams[1].push(TraceOp::Compute { cycles: 1 });
+        replay_streams(&mut d, a.as_mut(), &streams);
+    }
+}

@@ -7,64 +7,20 @@
 //! causally consistent. Per-request allocation latencies are recorded
 //! in completion order, which is what the paper's latency-over-time
 //! plots (Figures 8(a) and 17(c)) show.
+//!
+//! Since the trace subsystem landed, the driver is a thin veneer over
+//! [`pim_trace`]'s replay engine: request streams convert 1:1 into
+//! [`TraceOp`]s and [`drive`] delegates to
+//! [`replay_streams`](pim_trace::replay_streams). A driver workload is
+//! therefore *exactly* a trace — [`drive_recorded`] hands back the
+//! [`AllocTrace`] alongside the results, and replaying it later
+//! reproduces the run's latency timeline byte for byte.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use pim_malloc::{AllocError, PimAllocator};
+use pim_malloc::PimAllocator;
 use pim_sim::{Cycles, DpuSim, LatencyRecorder};
+use pim_trace::{AllocTrace, TraceOp};
 
-/// A virtual-time scheduler over per-tasklet logical clocks.
-///
-/// Replaces the per-request `(0..n).min_by_key(clock)` linear scan with
-/// a min-heap keyed on `(clock, tasklet id)`: selection is O(log n)
-/// per request instead of O(n). Ties break on the smaller tasklet id,
-/// exactly like the scan's first-minimum rule, so request interleavings
-/// — and therefore every latency-ordering result — are byte-identical
-/// to the scan's.
-///
-/// Usage: `pop` the next tasklet, execute one of its requests (which
-/// advances only that tasklet's clock), then `push` it back while it
-/// has requests left.
-#[derive(Debug)]
-pub struct VirtualTimeQueue {
-    heap: BinaryHeap<Reverse<(Cycles, usize)>>,
-}
-
-impl VirtualTimeQueue {
-    /// Creates a queue holding `tasklets`, each keyed at its current
-    /// clock on `dpu`.
-    pub fn new(dpu: &DpuSim, tasklets: impl IntoIterator<Item = usize>) -> Self {
-        VirtualTimeQueue {
-            heap: tasklets
-                .into_iter()
-                .map(|t| Reverse((dpu.clock(t), t)))
-                .collect(),
-        }
-    }
-
-    /// Removes and returns the queued tasklet with the smallest clock
-    /// (smallest id on ties), or `None` when the queue is empty.
-    ///
-    /// Entries whose clock advanced since they were queued are lazily
-    /// re-keyed at their current clock rather than trusted stale.
-    pub fn pop(&mut self, dpu: &DpuSim) -> Option<usize> {
-        while let Some(Reverse((queued_at, tid))) = self.heap.pop() {
-            let now = dpu.clock(tid);
-            if now == queued_at {
-                return Some(tid);
-            }
-            self.heap.push(Reverse((now, tid)));
-        }
-        None
-    }
-
-    /// Re-queues `tid` at its current clock (call after executing one
-    /// of its requests, while it has more).
-    pub fn push(&mut self, dpu: &DpuSim, tid: usize) {
-        self.heap.push(Reverse((dpu.clock(tid), tid)));
-    }
-}
+pub use pim_sim::VirtualTimeQueue;
 
 /// One allocator request in a tasklet's stream.
 ///
@@ -84,6 +40,27 @@ pub enum Request {
         /// Slot index to free.
         slot: usize,
     },
+}
+
+impl Request {
+    /// The trace event this request replays as.
+    pub fn to_trace_op(self) -> TraceOp {
+        match self {
+            Request::Malloc { size, slot } => TraceOp::Malloc {
+                size,
+                slot: slot as u32,
+            },
+            Request::Free { slot } => TraceOp::Free { slot: slot as u32 },
+        }
+    }
+}
+
+/// Converts per-tasklet request streams into trace event streams.
+fn to_op_streams(streams: &[Vec<Request>]) -> Vec<Vec<TraceOp>> {
+    streams
+        .iter()
+        .map(|s| s.iter().map(|r| r.to_trace_op()).collect())
+        .collect()
 }
 
 /// Outcome of a driver run.
@@ -120,71 +97,37 @@ pub fn drive(
         streams.len(),
         dpu.config().n_tasklets
     );
-    let n = streams.len();
-    let mut next_op = vec![0usize; n];
-    let mut slots: Vec<Vec<Option<u32>>> = streams
-        .iter()
-        .map(|s| {
-            let max_slot = s
-                .iter()
-                .map(|r| match r {
-                    Request::Malloc { slot, .. } | Request::Free { slot } => *slot + 1,
-                })
-                .max()
-                .unwrap_or(0);
-            vec![None; max_slot]
-        })
-        .collect();
-    let mut result = DriveResult {
-        malloc_latencies: LatencyRecorder::new(),
-        timeline: Vec::new(),
-        per_tasklet_malloc: vec![Cycles::ZERO; n],
-        oom_count: 0,
-        finish: Cycles::ZERO,
-    };
-
-    // Always advance the unfinished tasklet with the smallest clock.
-    let mut queue = VirtualTimeQueue::new(dpu, (0..n).filter(|&t| !streams[t].is_empty()));
-    while let Some(tid) = queue.pop(dpu) {
-        let req = streams[tid][next_op[tid]];
-        next_op[tid] += 1;
-        match req {
-            Request::Malloc { size, slot } => {
-                let mut ctx = dpu.ctx(tid);
-                let start = ctx.now();
-                match alloc.pim_malloc(&mut ctx, size) {
-                    Ok(addr) => {
-                        let end = ctx.now();
-                        let latency = end - start;
-                        result.malloc_latencies.record(latency);
-                        result.timeline.push((end, latency));
-                        result.per_tasklet_malloc[tid] += latency;
-                        if let Some(prev) = slots[tid][slot].replace(addr) {
-                            // Slot reuse frees the shadowed allocation
-                            // to keep the heap from leaking.
-                            let mut ctx = dpu.ctx(tid);
-                            alloc.pim_free(&mut ctx, prev).expect("shadowed slot frees");
-                        }
-                    }
-                    Err(AllocError::OutOfMemory { .. }) => result.oom_count += 1,
-                    Err(e) => panic!("malloc failed: {e}"),
-                }
-            }
-            Request::Free { slot } => {
-                if let Some(addr) = slots[tid][slot].take() {
-                    let mut ctx = dpu.ctx(tid);
-                    alloc
-                        .pim_free(&mut ctx, addr)
-                        .expect("driver frees live slots");
-                }
-            }
-        }
-        if next_op[tid] < streams[tid].len() {
-            queue.push(dpu, tid);
-        }
+    let r = pim_trace::replay_streams(dpu, alloc, &to_op_streams(streams));
+    DriveResult {
+        malloc_latencies: r.malloc_latencies,
+        timeline: r.timeline,
+        per_tasklet_malloc: r.per_tasklet_malloc,
+        oom_count: r.oom_count,
+        finish: r.finish,
     }
-    result.finish = dpu.max_clock();
-    result
+}
+
+/// [`drive`], additionally returning the run as an [`AllocTrace`]
+/// named `name` against a `heap_size`-byte heap.
+///
+/// Because the driver executes *through* the replay engine, replaying
+/// the returned trace on a fresh identical allocator reproduces this
+/// run's latency results byte for byte.
+pub fn drive_recorded(
+    dpu: &mut DpuSim,
+    alloc: &mut dyn PimAllocator,
+    streams: &[Vec<Request>],
+    name: impl Into<String>,
+    heap_size: u32,
+) -> (DriveResult, AllocTrace) {
+    let result = drive(dpu, alloc, streams);
+    let trace = AllocTrace {
+        name: name.into(),
+        n_tasklets: streams.len(),
+        heap_size,
+        streams: to_op_streams(streams),
+    };
+    (result, trace)
 }
 
 #[cfg(test)]
@@ -276,40 +219,28 @@ mod tests {
     }
 
     #[test]
-    fn queue_selection_is_identical_to_linear_scan() {
-        // The heap scheduler must replicate the old
-        // `(0..n).min_by_key(clock)` selection exactly, including
-        // smallest-id tie-breaking, so latency orderings stay
-        // byte-identical.
-        let run = |use_queue: bool| -> Vec<usize> {
-            let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(6));
-            // Uneven head start so clocks collide and diverge.
-            dpu.ctx(4).instrs(2);
-            let mut remaining = [3usize, 1, 4, 2, 3, 0];
-            let mut order = Vec::new();
-            if use_queue {
-                let mut q = VirtualTimeQueue::new(&dpu, (0..6).filter(|&t| remaining[t] > 0));
-                while let Some(tid) = q.pop(&dpu) {
-                    order.push(tid);
-                    dpu.ctx(tid).instrs((tid as u64 % 3) + 1);
-                    remaining[tid] -= 1;
-                    if remaining[tid] > 0 {
-                        q.push(&dpu, tid);
-                    }
-                }
-            } else {
-                while let Some(tid) = (0..6)
-                    .filter(|&t| remaining[t] > 0)
-                    .min_by_key(|&t| dpu.clock(t))
-                {
-                    order.push(tid);
-                    dpu.ctx(tid).instrs((tid as u64 % 3) + 1);
-                    remaining[tid] -= 1;
-                }
-            }
-            order
-        };
-        assert_eq!(run(true), run(false));
+    fn recorded_drive_replays_byte_identically() {
+        let streams: Vec<Vec<Request>> = (0..4)
+            .map(|_| {
+                (0..16)
+                    .flat_map(|i| {
+                        [
+                            Request::Malloc {
+                                size: 32 << (i % 3),
+                                slot: i,
+                            },
+                            Request::Free { slot: i },
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let (mut dpu, mut alloc) = setup(AllocatorKind::Sw, 4);
+        let (direct, trace) = drive_recorded(&mut dpu, alloc.as_mut(), &streams, "micro", 1 << 20);
+        let (mut dpu2, mut alloc2) = setup(AllocatorKind::Sw, 4);
+        let replayed = pim_trace::replay(&mut dpu2, alloc2.as_mut(), &trace);
+        assert_eq!(direct.timeline, replayed.timeline);
+        assert_eq!(direct.finish, replayed.finish);
     }
 
     #[test]

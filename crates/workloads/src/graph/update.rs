@@ -197,8 +197,83 @@ where
     (events, per_tasklet)
 }
 
+/// An allocator that may be transparently wrapped in a trace recorder
+/// (recording never perturbs the run: the recorder only reads clocks).
+enum MaybeRecorded {
+    Plain(Box<dyn PimAllocator>),
+    Recording(Box<pim_trace::TraceRecorder<Box<dyn PimAllocator>>>),
+}
+
+impl MaybeRecorded {
+    fn new(inner: Box<dyn PimAllocator>, record: Option<&GraphUpdateConfig>) -> Self {
+        match record {
+            Some(cfg) => {
+                let name = match cfg.repr {
+                    GraphRepr::StaticCsr => "graph/static-csr",
+                    GraphRepr::LinkedList => "graph/linked-list",
+                    GraphRepr::VarArray => "graph/var-array",
+                };
+                MaybeRecorded::Recording(Box::new(pim_trace::TraceRecorder::new(
+                    inner,
+                    name,
+                    cfg.heap_size,
+                    cfg.n_tasklets,
+                )))
+            }
+            None => MaybeRecorded::Plain(inner),
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn PimAllocator {
+        match self {
+            MaybeRecorded::Plain(a) => a.as_mut(),
+            MaybeRecorded::Recording(r) => r.as_mut(),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn PimAllocator {
+        match self {
+            MaybeRecorded::Plain(a) => a.as_ref(),
+            MaybeRecorded::Recording(r) => r.as_ref(),
+        }
+    }
+
+    fn into_trace(self) -> Option<pim_trace::AllocTrace> {
+        match self {
+            MaybeRecorded::Plain(_) => None,
+            MaybeRecorded::Recording(r) => Some(r.into_trace().0),
+        }
+    }
+}
+
 /// Runs the graph update experiment.
 pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
+    run_graph_update_impl(cfg, false).0
+}
+
+/// [`run_graph_update`], additionally capturing DPU 0's allocator
+/// activity during the timed update phase as an
+/// [`pim_trace::AllocTrace`] (compute between allocator calls becomes
+/// `Compute` events, so the trace replays with the workload's pacing).
+///
+/// # Panics
+///
+/// Panics for [`GraphRepr::StaticCsr`], which never allocates.
+pub fn run_graph_update_recorded(
+    cfg: &GraphUpdateConfig,
+) -> (GraphUpdateResult, pim_trace::AllocTrace) {
+    assert!(
+        !matches!(cfg.repr, GraphRepr::StaticCsr),
+        "static CSR never calls the allocator; record a dynamic repr"
+    );
+    let (result, trace) = run_graph_update_impl(cfg, true);
+    (result, trace.expect("dynamic repr on DPU 0 records"))
+}
+
+fn run_graph_update_impl(
+    cfg: &GraphUpdateConfig,
+    record: bool,
+) -> (GraphUpdateResult, Option<pim_trace::AllocTrace>) {
     let w = workload(cfg);
     let local_nodes = cfg.n_nodes.div_ceil(cfg.n_dpus as u32);
     let mhz = pim_sim::CostModel::default().clock_mhz;
@@ -232,6 +307,7 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
         cycles_frontend: Cycles,
         cycles_backend: Cycles,
         frag: Option<f64>,
+        trace: Option<pim_trace::AllocTrace>,
     }
 
     let run_one_dpu = |dpu_idx: usize| -> DpuOutcome {
@@ -271,6 +347,7 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
                     cycles_frontend: Cycles::ZERO,
                     cycles_backend: Cycles::ZERO,
                     frag: None,
+                    trace: None,
                 }
             }
             GraphRepr::LinkedList | GraphRepr::VarArray => {
@@ -284,7 +361,11 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
                     let local_edges: Vec<(u32, u32)> = base.iter().flatten().copied().collect();
                     CsrGraph::build(local_nodes, &local_edges)
                 };
-                let mut alloc = cfg.allocator.build(&mut dpu, cfg.n_tasklets, cfg.heap_size);
+                let built = cfg.allocator.build(&mut dpu, cfg.n_tasklets, cfg.heap_size);
+                // Only DPU 0's allocator is recorded — its timeline is
+                // the one the figures single out, and one DPU's stream
+                // is the SPMD unit a replay fans back out.
+                let mut alloc = MaybeRecorded::new(built, (record && dpu_idx == 0).then_some(cfg));
                 enum Repr {
                     Ll(LinkedListGraph),
                     Va(VarArrayGraph),
@@ -314,15 +395,21 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
                 }
                 let stats0 = dpu.total_stats();
                 let (events, per_tasklet) = run_phase(&mut dpu, &new, |dpu, tid, u, v| {
-                    do_insert(dpu, alloc.as_mut(), tid, u, v)
+                    do_insert(dpu, alloc.as_dyn_mut(), tid, u, v)
                 });
-                let s = alloc.alloc_stats();
+                let s = alloc.as_dyn().alloc_stats();
+                let (frontend_hits, total_mallocs, cycles_frontend, cycles_backend) = (
+                    s.frontend_hits,
+                    s.total_mallocs(),
+                    s.cycles_frontend,
+                    s.cycles_backend,
+                );
                 DpuOutcome {
                     update: dpu.max_clock() - t0,
                     breakdown: dpu.total_stats().since(&stats0),
                     // Whole-run metadata traffic (build + update),
                     // matching Figure 17(d)'s aggregate comparison.
-                    meta: allocator_meta_bytes(alloc.as_ref()),
+                    meta: allocator_meta_bytes(alloc.as_dyn()),
                     dram: dpu.traffic().total_bytes(),
                     // Re-base event times onto the update phase origin.
                     events: events
@@ -330,14 +417,16 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
                         .map(|(t, l)| (t.saturating_sub(t0), l))
                         .collect(),
                     per_tasklet,
-                    frontend_hits: s.frontend_hits,
-                    total_mallocs: s.total_mallocs(),
-                    cycles_frontend: s.cycles_frontend,
-                    cycles_backend: s.cycles_backend,
+                    frontend_hits,
+                    total_mallocs,
+                    cycles_frontend,
+                    cycles_backend,
                     frag: alloc
+                        .as_dyn()
                         .as_any()
                         .downcast_ref::<pim_malloc::PimMalloc>()
                         .map(|pm| pm.frag().ratio()),
+                    trace: alloc.into_trace(),
                 }
             }
         }
@@ -345,7 +434,8 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
 
     // Per-DPU simulations are share-nothing; fan them out over the
     // machine's cores and reduce in DPU-index order for determinism.
-    let outcomes: Vec<DpuOutcome> = pim_sim::parallel_indexed(cfg.n_dpus, run_one_dpu);
+    let mut outcomes: Vec<DpuOutcome> = pim_sim::parallel_indexed(cfg.n_dpus, run_one_dpu);
+    let trace = outcomes[0].trace.take();
 
     let mut slowest = Cycles::ZERO;
     let mut breakdown = TaskletStats::default();
@@ -384,7 +474,7 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
 
     let update_secs = slowest.as_secs(mhz);
     let total_latency = (cycles_frontend + cycles_backend).0 as f64;
-    GraphUpdateResult {
+    let result = GraphUpdateResult {
         repr: cfg.repr,
         allocator: cfg.allocator,
         update_secs,
@@ -412,7 +502,8 @@ pub fn run_graph_update(cfg: &GraphUpdateConfig) -> GraphUpdateResult {
         },
         host_push_secs: staging.secs,
         host_xfer_calls: staging.calls,
-    }
+    };
+    (result, trace)
 }
 
 fn allocator_meta_bytes(alloc: &dyn PimAllocator) -> u64 {
@@ -531,6 +622,38 @@ mod tests {
         // The kernel-side result is untouched by the host schedule.
         assert_eq!(s.update_secs, p.update_secs);
         assert_eq!(s.total_mallocs, p.total_mallocs);
+    }
+
+    #[test]
+    fn recorded_update_captures_dpu0_allocations() {
+        let cfg = small(GraphRepr::LinkedList, AllocatorKind::Sw);
+        let (plain, trace) = {
+            let (r, t) = run_graph_update_recorded(&cfg);
+            (r, t)
+        };
+        // Recording never perturbs the run.
+        let unrecorded = run_graph_update(&cfg);
+        assert_eq!(plain.update_secs, unrecorded.update_secs);
+        assert_eq!(plain.total_mallocs, unrecorded.total_mallocs);
+        // The trace holds DPU 0's mallocs with compute pacing and
+        // round-trips through JSON.
+        assert!(trace.malloc_count() > 0);
+        assert!(trace
+            .streams
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, pim_trace::TraceOp::Compute { .. })));
+        assert_eq!(
+            pim_trace::AllocTrace::from_json(&trace.to_json()).unwrap(),
+            trace
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never calls the allocator")]
+    fn recording_static_csr_is_rejected() {
+        let cfg = small(GraphRepr::StaticCsr, AllocatorKind::Sw);
+        let _ = run_graph_update_recorded(&cfg);
     }
 
     #[test]

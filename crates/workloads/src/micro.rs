@@ -131,6 +131,29 @@ pub fn run_micro(kind: AllocatorKind, cfg: &MicroConfig) -> MicroResult {
     finish_result(kind, &dpu, meta, bc, r)
 }
 
+/// [`run_micro`], additionally capturing the run as an
+/// [`pim_trace::AllocTrace`]. Replaying the trace against a fresh
+/// allocator of the same kind reproduces the run's latency timeline
+/// byte for byte (the driver executes through the replay engine).
+pub fn run_micro_recorded(
+    kind: AllocatorKind,
+    cfg: &MicroConfig,
+) -> (MicroResult, pim_trace::AllocTrace) {
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(cfg.n_tasklets));
+    let mut alloc = kind.build(&mut dpu, cfg.n_tasklets, cfg.heap_size);
+    let name = format!(
+        "micro/{}",
+        match cfg.pattern {
+            Pattern::AllocOnly => "alloc-only",
+            Pattern::AllocFreePairs => "alloc-free-pairs",
+        }
+    );
+    let (r, trace) =
+        crate::driver::drive_recorded(&mut dpu, alloc.as_mut(), &streams(cfg), name, cfg.heap_size);
+    let (meta, bc) = allocator_meta(alloc.as_ref());
+    (finish_result(kind, &dpu, meta, bc, r), trace)
+}
+
 /// Runs the microbenchmark on PIM-malloc-HW/SW with a specific buddy
 /// cache size (Figure 16's sensitivity sweep).
 pub fn run_micro_with_cache(cfg: &MicroConfig, cache: BuddyCacheConfig) -> MicroResult {
@@ -316,6 +339,27 @@ mod tests {
             (hit_rates[2] - hit_rates[1]).abs() < 0.1,
             "64 B → 256 B must be near-flat: {hit_rates:?}"
         );
+    }
+
+    #[test]
+    fn recorded_micro_replays_identically() {
+        let cfg = MicroConfig {
+            n_tasklets: 4,
+            allocs_per_tasklet: 32,
+            ..MicroConfig::default()
+        };
+        let (direct, trace) = run_micro_recorded(AllocatorKind::Sw, &cfg);
+        assert_eq!(trace.malloc_count(), 4 * 32);
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(4));
+        let mut alloc = AllocatorKind::Sw.build(&mut dpu, 4, cfg.heap_size);
+        let replayed = pim_trace::replay(&mut dpu, alloc.as_mut(), &trace);
+        let mhz = dpu.config().cost.clock_mhz;
+        let replay_timeline: Vec<(f64, f64)> = replayed
+            .timeline
+            .iter()
+            .map(|&(t, l)| (t.as_micros(mhz), l.as_micros(mhz)))
+            .collect();
+        assert_eq!(direct.timeline_us, replay_timeline);
     }
 
     #[test]
