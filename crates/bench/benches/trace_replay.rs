@@ -4,7 +4,8 @@
 //! * `round_trip` — JSON encode + parse of the same trace.
 //! * `replay_1dpu` — replaying it against PIM-malloc-SW on one DPU.
 //! * `replay_fleet_64dpu/{serial,parallel}` — the same trace fanned
-//!   over 64 share-nothing DPUs, serial loop vs the parallel engine.
+//!   over 64 share-nothing DPUs, serial loop vs the topology-aware
+//!   executor (default sticky+steal policy).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pim_malloc::PimAllocator;
@@ -73,10 +74,13 @@ fn bench_fleet(c: &mut Criterion) {
     let (_, trace) = bench_trace();
     let mut g = c.benchmark_group("replay_fleet_64dpu");
     g.sample_size(2);
-    for (label, parallel) in [("serial", false), ("parallel", true)] {
+    for (label, exec) in [
+        ("serial", pim_sim::ExecPolicy::Serial),
+        ("parallel", pim_sim::ExecPolicy::StickySteal),
+    ] {
         let cfg = FleetConfig {
             n_dpus: 64,
-            parallel,
+            exec,
             ..FleetConfig::default()
         };
         g.bench_function(label, |b| {

@@ -5,12 +5,14 @@
 //! benchmarking).
 
 use pim_dse::{run_strategy, DseConfig, Strategy};
-use pim_sim::{parallel_indexed, HostBatching};
+use pim_sim::{parallel_indexed_with, HostBatching};
 use pim_workloads::graph::{run_graph_update, GraphRepr, GraphUpdateConfig};
 use pim_workloads::llm::{fixed_trace, run_serving, KvScheme, ServingConfig};
 use pim_workloads::AllocatorKind;
 
 use crate::report::{Experiment, Row};
+
+use super::SWEEP_POLICY;
 
 const POLICIES: [HostBatching; 2] = [HostBatching::PerDpu, HostBatching::Sharded];
 
@@ -35,7 +37,7 @@ pub fn host_batching(quick: bool) -> Experiment {
         .iter()
         .flat_map(|&p| counts.iter().map(move |&n| (p, n)))
         .collect();
-    let dse = parallel_indexed(grid.len(), |i| {
+    let dse = parallel_indexed_with(grid.len(), SWEEP_POLICY, |i| {
         let (batching, n) = grid[i];
         run_strategy(
             Strategy::HostMetaHostExec,
@@ -59,7 +61,7 @@ pub fn host_batching(quick: bool) -> Experiment {
     // LLM serving: the per-step KV push either hides behind FC compute
     // (sharded) or stalls every decode step (per-DPU).
     let trace = fixed_trace(if quick { 40 } else { 100 }, 10.0);
-    let serving = parallel_indexed(POLICIES.len(), |i| {
+    let serving = parallel_indexed_with(POLICIES.len(), SWEEP_POLICY, |i| {
         run_serving(
             KvScheme::Dynamic(AllocatorKind::Sw),
             &ServingConfig {
@@ -90,7 +92,7 @@ pub fn host_batching(quick: bool) -> Experiment {
         new_edges: if quick { 3200 } else { 13_000 },
         ..GraphUpdateConfig::default()
     };
-    let graph = parallel_indexed(POLICIES.len(), |i| {
+    let graph = parallel_indexed_with(POLICIES.len(), SWEEP_POLICY, |i| {
         run_graph_update(&GraphUpdateConfig {
             batching: POLICIES[i],
             ..graph_cfg

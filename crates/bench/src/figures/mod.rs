@@ -27,6 +27,11 @@ pub use trace_figs::{scenario_families, trace_artifact_files, trace_replay, TRAC
 
 use crate::report::Experiment;
 
+/// Figure sweeps index *grid cells*, not DPUs: the indices carry no
+/// cross-epoch locality for sticky placement to exploit, so every
+/// figure sweep declares itself topology-oblivious.
+const SWEEP_POLICY: pim_sim::ExecPolicy = pim_sim::ExecPolicy::Oblivious;
+
 /// Fixed seed of the ShareGPT-shaped LLM trace (Figure 4(b)).
 const LLM_DEFAULT_SEED: u64 = 11;
 /// Fixed seed of the graph-update workload generator.

@@ -1,7 +1,7 @@
 //! Executes one design strategy and reports the latency split.
 
 use pim_malloc::{PimAllocator, StrawManAllocator, StrawManConfig};
-use pim_sim::{DpuConfig, DpuSim, HostBatching, HostConfig, HostSim, TransferModel};
+use pim_sim::{DpuConfig, DpuSim, ExecPolicy, HostBatching, HostConfig, HostSim, TransferModel};
 use serde::{Deserialize, Serialize};
 
 use crate::strategy::Strategy;
@@ -26,6 +26,11 @@ pub struct DseConfig {
     /// per-rank shards. Sweeping this is what separates a naive host
     /// loop from a batched `dpu_push_xfer` data path.
     pub batching: HostBatching,
+    /// How [`sweep`] places its grid points on the host executor.
+    /// Grid cells carry no cross-epoch index locality, so the default
+    /// is [`ExecPolicy::Oblivious`]; results are identical under every
+    /// policy.
+    pub exec: ExecPolicy,
     /// Fixed cost of one `pimLaunch` kernel dispatch, microseconds.
     pub launch_us: f64,
     /// Host last-level cache capacity, bytes — determines how much of
@@ -51,6 +56,7 @@ impl Default for DseConfig {
             host: HostConfig::default(),
             transfer: TransferModel::default(),
             batching: HostBatching::Sharded,
+            exec: ExecPolicy::Oblivious,
             launch_us: 60.0,
             host_llc_bytes: 16 << 20,
         }
@@ -210,15 +216,16 @@ pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
 /// order.
 ///
 /// Each grid point is an independent simulation (its own `DpuSim` and
-/// host model), so the sweep fans out over the machine's cores via
-/// [`pim_sim::parallel_indexed`] and merges results back in grid order
-/// — the output is identical to the serial double loop it replaced.
+/// host model), so the sweep fans out over the machine's cores via the
+/// topology-aware executor ([`DseConfig::exec`]) and merges results
+/// back in grid order — the output is identical to the serial double
+/// loop it replaced, under every policy and worker count.
 pub fn sweep(config: &DseConfig, dpu_counts: &[usize]) -> Vec<DseResult> {
     let grid: Vec<(Strategy, usize)> = Strategy::ALL
         .iter()
         .flat_map(|&s| dpu_counts.iter().map(move |&n| (s, n)))
         .collect();
-    pim_sim::parallel_indexed(grid.len(), |i| {
+    pim_sim::parallel_indexed_with(grid.len(), config.exec, |i| {
         let (strategy, n) = grid[i];
         run_strategy(strategy, &config.clone().with_dpus(n))
     })

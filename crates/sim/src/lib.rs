@@ -49,6 +49,7 @@ pub mod buddy_cache;
 pub mod cam_overhead;
 pub mod cost;
 pub mod dpu;
+pub mod exec;
 pub mod host;
 pub mod iram;
 pub mod mram;
@@ -64,13 +65,16 @@ pub use buddy_cache::{BuddyCache, BuddyCacheConfig, BuddyCacheStats, Eviction, L
 pub use cam_overhead::{CamOverhead, CamOverheadModel};
 pub use cost::{CostModel, Cycles};
 pub use dpu::{DpuConfig, DpuSim, MutexId, TaskletCtx};
+pub use exec::{
+    parallel_indexed, parallel_indexed_with, EpochReport, ExecPolicy, Executor, HostTopology,
+};
 pub use host::{HostConfig, HostSim, TransferDirection, TransferModel};
 pub use iram::Iram;
 pub use mram::Mram;
 pub use runtime::DpuSet;
 pub use sched::VirtualTimeQueue;
 pub use stats::{DramTraffic, LatencyRecorder, TaskletStats};
-pub use system::{parallel_indexed, PimSystem};
+pub use system::PimSystem;
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};
 pub use wram::Wram;
 pub use xfer::{HostBatching, ShardedXfer, TransferPlan, XferEstimate};

@@ -11,74 +11,22 @@
 //!
 //! Because DPUs share nothing, the host can simulate them on as many
 //! OS threads as the machine offers without changing any result:
-//! [`PimSystem::run_per_dpu_parallel`] partitions the DPU vector over
-//! scoped worker threads and merges per-DPU outputs back in DPU-index
-//! order, so runs are deterministic regardless of the worker count.
-//! [`parallel_indexed`] is the underlying helper for call sites that
-//! construct their own per-index simulation state (e.g. one `DpuSim`
-//! plus allocator per graph partition) instead of borrowing the
-//! system's DPUs.
+//! [`PimSystem::run_per_dpu_parallel`] fans the DPU vector out over the
+//! topology-aware executor ([`crate::exec`]) and merges per-DPU outputs
+//! back in DPU-index order, so runs are deterministic regardless of the
+//! worker count, placement policy, or steal schedule.
+//! [`crate::exec::parallel_indexed`] is the underlying facade for call
+//! sites that construct their own per-index simulation state (e.g. one
+//! `DpuSim` plus allocator per graph partition) instead of borrowing
+//! the system's DPUs.
+
+use std::sync::Mutex;
 
 use crate::cost::Cycles;
 use crate::dpu::{DpuConfig, DpuSim};
+use crate::exec::{ExecPolicy, Executor};
 use crate::host::HostSim;
 use crate::stats::{DramTraffic, TaskletStats};
-
-/// Runs `f(0), f(1), …, f(n - 1)` on scoped worker threads and returns
-/// the results in index order.
-///
-/// Indices are dealt to one worker per available hardware thread
-/// (capped at `n`) in round-robin order — worker `w` takes `w`,
-/// `w + workers`, … — so a 2,000-DPU sweep spawns a handful of threads
-/// rather than 2,000, and sweeps whose cost grows with the index (e.g.
-/// a DPU-count sweep) spread their heavy cells across workers instead
-/// of piling them onto the last chunk. `f` must be pure with respect to
-/// shared state (each call owns everything it mutates); determinism
-/// then follows from reassembling results by index. With a single
-/// hardware thread the calls run inline, spawning nothing.
-///
-/// # Panics
-///
-/// Propagates a panic from any invocation of `f`.
-pub fn parallel_indexed<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if workers == 1 {
-        return (0..n).map(f).collect();
-    }
-    let f = &f;
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    (w..n)
-                        .step_by(workers)
-                        .map(|i| (i, f(i)))
-                        .collect::<Vec<(usize, T)>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("parallel_indexed worker panicked") {
-                slots[i] = Some(value);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index computed"))
-        .collect()
-}
 
 /// A host plus `n` identical DPUs.
 #[derive(Debug)]
@@ -141,8 +89,8 @@ impl PimSystem {
         }
     }
 
-    /// Runs `f` once per DPU on scoped worker threads, returning each
-    /// DPU's output in DPU-index order.
+    /// Runs `f` once per DPU on the topology-aware executor, returning
+    /// each DPU's output in DPU-index order.
     ///
     /// Each DPU is fully independent (`Send`) state, so the kernel may
     /// execute on any worker without affecting simulated results: the
@@ -151,47 +99,35 @@ impl PimSystem {
     /// the returned `Vec` is merged deterministically by DPU index.
     /// Host wall-clock drops by roughly the hardware thread count; the
     /// UPMEM-class systems the paper benchmarks run 2,000+ DPUs, which
-    /// a serial loop cannot keep up with.
+    /// a serial loop cannot keep up with. Uses the default
+    /// [`ExecPolicy`]; see [`PimSystem::run_per_dpu_parallel_with`].
     pub fn run_per_dpu_parallel<T, F>(&mut self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, &mut DpuSim) -> T + Sync,
     {
-        let n = self.dpus.len();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
-        if workers == 1 {
-            return self
-                .dpus
-                .iter_mut()
-                .enumerate()
-                .map(|(idx, dpu)| f(idx, dpu))
-                .collect();
-        }
-        let chunk = n.div_ceil(workers);
-        let f = &f;
-        let mut out = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .dpus
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(ci, dpus)| {
-                    scope.spawn(move || {
-                        dpus.iter_mut()
-                            .enumerate()
-                            .map(|(i, dpu)| f(ci * chunk + i, dpu))
-                            .collect::<Vec<T>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                out.extend(handle.join().expect("DPU worker thread panicked"));
-            }
-        });
-        out
+        self.run_per_dpu_parallel_with(ExecPolicy::default(), f)
+    }
+
+    /// [`PimSystem::run_per_dpu_parallel`] under an explicit placement
+    /// policy.
+    ///
+    /// Each DPU cell is wrapped in a [`Mutex`] only to hand its `&mut`
+    /// across the worker crew — every index executes exactly once, so
+    /// the locks are never contended and never poisoned outside a
+    /// propagating `f` panic.
+    pub fn run_per_dpu_parallel_with<T, F>(&mut self, policy: ExecPolicy, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut DpuSim) -> T + Sync,
+    {
+        let cells: Vec<Mutex<&mut DpuSim>> = self.dpus.iter_mut().map(Mutex::new).collect();
+        Executor::for_domain("pim-system").run(cells.len(), policy, |i| {
+            let mut dpu = cells[i]
+                .lock()
+                .expect("each DPU cell is locked exactly once");
+            f(i, &mut dpu)
+        })
     }
 
     /// System finish time of the PIM kernel: the slowest DPU's clock.
@@ -226,6 +162,7 @@ impl PimSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::parallel_indexed;
 
     #[test]
     fn per_dpu_execution_is_independent() {
@@ -282,6 +219,22 @@ mod tests {
         }
         assert_eq!(serial.kernel_finish(), parallel.kernel_finish());
         assert_eq!(serial.total_stats().instrs, parallel.total_stats().instrs);
+    }
+
+    #[test]
+    fn every_placement_policy_simulates_identically() {
+        let kernel = |idx: usize, dpu: &mut DpuSim| {
+            dpu.ctx(0).instrs(3 * (idx as u64 + 1));
+            dpu.clock(0)
+        };
+        let mut reference = PimSystem::new(13, DpuConfig::default().with_tasklets(1));
+        let reference_out = reference.run_per_dpu_parallel_with(ExecPolicy::Serial, kernel);
+        for policy in ExecPolicy::ALL {
+            let mut sys = PimSystem::new(13, DpuConfig::default().with_tasklets(1));
+            let out = sys.run_per_dpu_parallel_with(policy, kernel);
+            assert_eq!(out, reference_out, "{policy:?}");
+            assert_eq!(sys.kernel_finish(), reference.kernel_finish(), "{policy:?}");
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use pim_malloc::{AllocError, PimAllocator};
 use pim_sim::{
-    parallel_indexed, Cycles, DpuConfig, DpuSim, HostBatching, LatencyRecorder, ShardedXfer,
-    TransferDirection, TransferModel, TransferPlan, VirtualTimeQueue, XferEstimate,
+    Cycles, DpuConfig, DpuSim, EpochReport, ExecPolicy, Executor, HostBatching, LatencyRecorder,
+    ShardedXfer, TransferDirection, TransferModel, TransferPlan, VirtualTimeQueue, XferEstimate,
 };
 
 use crate::format::{AllocTrace, TraceOp};
@@ -198,18 +198,20 @@ pub fn replay_streams(
 }
 
 /// Multi-DPU replay configuration: fleet size, how the host distributes
-/// the trace, and whether DPU simulations fan out over worker threads.
+/// the trace, and how DPU simulations are placed on the host.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetConfig {
     /// DPUs replaying the trace (each runs the whole trace, SPMD).
     pub n_dpus: usize,
     /// How the host schedules the trace-distribution push.
     pub batching: HostBatching,
-    /// Host↔PIM transfer model for the distribution push.
+    /// Host↔PIM transfer model for the distribution push (also prices
+    /// the executor's cross-node placement penalty).
     pub transfer: TransferModel,
-    /// Fan DPU simulations over worker threads (`parallel_indexed`) or
-    /// run them serially — results are identical either way.
-    pub parallel: bool,
+    /// How DPU simulations are fanned over the topology-aware executor
+    /// ([`ExecPolicy::Serial`] runs them inline) — simulated results
+    /// are identical under every policy and worker count.
+    pub exec: ExecPolicy,
 }
 
 impl Default for FleetConfig {
@@ -218,7 +220,7 @@ impl Default for FleetConfig {
             n_dpus: 16,
             batching: HostBatching::Sharded,
             transfer: TransferModel::default(),
-            parallel: true,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -232,6 +234,18 @@ pub struct FleetResult {
     pub distribution: XferEstimate,
     /// Slowest DPU's finish time.
     pub kernel_finish: Cycles,
+    /// The executor's placement accounting for this fleet epoch. A
+    /// modeled host-side **diagnostic**: it reflects the trace-fleet
+    /// executor's sticky ledger history (the first replay cold-starts
+    /// every DPU), and concurrent fleet replays in one process
+    /// interleave epochs on that shared ledger — per-DPU simulated
+    /// results stay byte-identical regardless.
+    pub placement: EpochReport,
+    /// Modeled host seconds of NUMA placement cost for this epoch
+    /// ([`EpochReport::placement_penalty_secs`] under
+    /// [`FleetConfig::transfer`]). Reported separately from
+    /// [`FleetResult::distribution`]; not folded into per-DPU results.
+    pub placement_penalty_secs: f64,
 }
 
 impl FleetResult {
@@ -261,9 +275,9 @@ impl FleetResult {
 /// allocator built by `build`, and prices the host's trace
 /// distribution under `cfg.batching`.
 ///
-/// Deterministic regardless of `cfg.parallel` and the worker count:
-/// every DPU's simulation is independent and results merge in
-/// DPU-index order.
+/// Deterministic regardless of `cfg.exec` and the worker count: every
+/// DPU's simulation is independent and results merge in DPU-index
+/// order on the topology-aware executor.
 ///
 /// # Panics
 ///
@@ -282,20 +296,20 @@ where
         let mut alloc = build(&mut dpu);
         replay(&mut dpu, alloc.as_mut(), trace)
     };
-    let per_dpu: Vec<ReplayResult> = if cfg.parallel {
-        parallel_indexed(cfg.n_dpus, run_one)
-    } else {
-        (0..cfg.n_dpus).map(run_one).collect()
-    };
+    let (per_dpu, placement) =
+        Executor::for_domain("trace-fleet").run_report(cfg.n_dpus, cfg.exec, run_one);
     let kernel_finish = per_dpu
         .iter()
         .map(|r| r.finish)
         .max()
         .unwrap_or(Cycles::ZERO);
+    let placement_penalty_secs = placement.placement_penalty_secs(&cfg.transfer);
     FleetResult {
         per_dpu,
         distribution,
         kernel_finish,
+        placement,
+        placement_penalty_secs,
     }
 }
 
@@ -418,22 +432,36 @@ mod tests {
                 .collect();
         }
         let build = |dpu: &mut DpuSim| -> Box<dyn PimAllocator> { sw_alloc(dpu, 4, 1 << 20) };
-        let par = replay_fleet(&t, &FleetConfig::default(), build);
         let ser = replay_fleet(
             &t,
             &FleetConfig {
-                parallel: false,
+                exec: ExecPolicy::Serial,
                 ..FleetConfig::default()
             },
             build,
         );
-        assert_eq!(par.per_dpu.len(), 16);
-        for (p, s) in par.per_dpu.iter().zip(&ser.per_dpu) {
-            assert_eq!(p.timeline, s.timeline);
+        for exec in [
+            ExecPolicy::Oblivious,
+            ExecPolicy::Sticky,
+            ExecPolicy::StickySteal,
+        ] {
+            let par = replay_fleet(
+                &t,
+                &FleetConfig {
+                    exec,
+                    ..FleetConfig::default()
+                },
+                build,
+            );
+            assert_eq!(par.per_dpu.len(), 16);
+            for (p, s) in par.per_dpu.iter().zip(&ser.per_dpu) {
+                assert_eq!(p.timeline, s.timeline);
+            }
+            assert_eq!(par.kernel_finish, ser.kernel_finish);
+            assert_eq!(par.mean_latency(), ser.mean_latency());
+            assert!(par.distribution.bytes > 0);
+            assert!(par.placement_penalty_secs >= 0.0);
         }
-        assert_eq!(par.kernel_finish, ser.kernel_finish);
-        assert_eq!(par.mean_latency(), ser.mean_latency());
-        assert!(par.distribution.bytes > 0);
     }
 
     #[test]

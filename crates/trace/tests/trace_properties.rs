@@ -90,13 +90,13 @@ proptest! {
             ..SynthConfig::default()
         };
         let trace = synthesize(&cfg);
-        let fleet = |parallel: bool| replay_fleet(
+        let fleet = |exec: pim_sim::ExecPolicy| replay_fleet(
             &trace,
-            &FleetConfig { n_dpus: 5, parallel, ..FleetConfig::default() },
+            &FleetConfig { n_dpus: 5, exec, ..FleetConfig::default() },
             sw_build,
         );
-        let par = fleet(true);
-        let ser = fleet(false);
+        let par = fleet(pim_sim::ExecPolicy::StickySteal);
+        let ser = fleet(pim_sim::ExecPolicy::Serial);
         for (p, s) in par.per_dpu.iter().zip(&ser.per_dpu) {
             prop_assert_eq!(&p.timeline, &s.timeline);
         }

@@ -11,8 +11,8 @@
 
 use pim_malloc::{MetadataStore, PimAllocator};
 use pim_sim::{
-    Cycles, DpuConfig, DpuSim, HostBatching, ShardedXfer, TaskletStats, TransferDirection,
-    TransferModel, TransferPlan,
+    Cycles, DpuConfig, DpuSim, ExecPolicy, Executor, HostBatching, ShardedXfer, TaskletStats,
+    TransferDirection, TransferModel, TransferPlan,
 };
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +71,11 @@ pub struct GraphUpdateConfig {
     /// How the edge-staging push is scheduled: per-DPU calls or
     /// per-rank shards.
     pub batching: HostBatching,
+    /// How per-DPU simulations are placed on the host's topology-aware
+    /// executor. Simulated results are identical under every policy;
+    /// the sticky policies keep each DPU's state on the NUMA node that
+    /// last simulated it across repeated updates.
+    pub exec: ExecPolicy,
 }
 
 impl Default for GraphUpdateConfig {
@@ -89,6 +94,7 @@ impl Default for GraphUpdateConfig {
             seed: 42,
             transfer: TransferModel::default(),
             batching: HostBatching::Sharded,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -138,6 +144,16 @@ pub struct GraphUpdateResult {
     /// Host↔PIM transfer calls the staging push issued (per-DPU calls
     /// or per-rank shards, per [`GraphUpdateConfig::batching`]).
     pub host_xfer_calls: u64,
+    /// Modeled host seconds of NUMA placement cost for this run's DPU
+    /// fan-out (cold starts and cross-node moves priced by
+    /// [`TransferModel::cross_node_us`]). A host-side **diagnostic**:
+    /// it reflects the graph engine's executor ledger history, and
+    /// concurrent graph updates in one process (e.g. a figure sweep)
+    /// interleave epochs on that shared ledger — the simulated update
+    /// results stay byte-identical regardless. Reported separately
+    /// from [`GraphUpdateResult::update_secs`], like
+    /// [`GraphUpdateResult::host_push_secs`].
+    pub host_placement_secs: f64,
 }
 
 /// Partitions a global edge `(u, v)` to `(dpu, tasklet, local_u)`.
@@ -433,8 +449,11 @@ fn run_graph_update_impl(
     };
 
     // Per-DPU simulations are share-nothing; fan them out over the
-    // machine's cores and reduce in DPU-index order for determinism.
-    let mut outcomes: Vec<DpuOutcome> = pim_sim::parallel_indexed(cfg.n_dpus, run_one_dpu);
+    // graph engine's own persistent executor (its sticky ledger tracks
+    // *this* engine's DPU indices, not unrelated sweeps) and reduce in
+    // DPU-index order for determinism.
+    let (mut outcomes, placement): (Vec<DpuOutcome>, _) =
+        Executor::for_domain("graph-update").run_report(cfg.n_dpus, cfg.exec, run_one_dpu);
     let trace = outcomes[0].trace.take();
 
     let mut slowest = Cycles::ZERO;
@@ -502,6 +521,7 @@ fn run_graph_update_impl(
         },
         host_push_secs: staging.secs,
         host_xfer_calls: staging.calls,
+        host_placement_secs: placement.placement_penalty_secs(&cfg.transfer),
     };
     (result, trace)
 }

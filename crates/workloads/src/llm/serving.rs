@@ -20,7 +20,8 @@
 //! step and stalls every token.
 
 use pim_sim::{
-    HostBatching, LatencyRecorder, ShardedXfer, TransferDirection, TransferModel, TransferPlan,
+    ExecPolicy, HostBatching, LatencyRecorder, ShardedXfer, TransferDirection, TransferModel,
+    TransferPlan,
 };
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,11 @@ pub struct ServingConfig {
     /// How the per-step KV push is scheduled: per-DPU calls or
     /// per-rank shards.
     pub batching: HostBatching,
+    /// How [`run_serving_many`] places its per-scheme simulations on
+    /// the host executor. Scheme indices carry no cross-epoch locality,
+    /// so the default is [`ExecPolicy::Oblivious`]; results are
+    /// identical under every policy.
+    pub exec: ExecPolicy,
 }
 
 impl Default for ServingConfig {
@@ -61,6 +67,7 @@ impl Default for ServingConfig {
             prefill_secs: 0.015,
             transfer: TransferModel::default(),
             batching: HostBatching::Sharded,
+            exec: ExecPolicy::Oblivious,
         }
     }
 }
@@ -126,7 +133,9 @@ pub fn run_serving_many(
     cfg: &ServingConfig,
     trace: &[RequestSpec],
 ) -> Vec<ServingResult> {
-    pim_sim::parallel_indexed(schemes.len(), |i| run_serving(schemes[i], cfg, trace))
+    pim_sim::parallel_indexed_with(schemes.len(), cfg.exec, |i| {
+        run_serving(schemes[i], cfg, trace)
+    })
 }
 
 /// Runs the serving simulation over `trace`.

@@ -1,9 +1,12 @@
 //! Cross-crate consistency: the analytic design-space model, the DPU
-//! simulator, and the allocator library must tell one coherent story.
+//! simulator, and the allocator library must tell one coherent story —
+//! and every multi-DPU engine (serial reference, parallel, and the
+//! topology-aware executor policies) must produce identical simulated
+//! results at paper scale (512 DPUs).
 
 use pim_dse::{run_strategy, DseConfig, Strategy};
 use pim_malloc::{PimAllocator, StrawManAllocator, StrawManConfig};
-use pim_sim::{DpuConfig, DpuSim};
+use pim_sim::{DpuConfig, DpuSim, ExecPolicy};
 
 #[test]
 fn dse_pim_local_time_matches_a_real_dpu_run() {
@@ -81,6 +84,143 @@ fn wram_budget_is_shared_across_components() {
         pim_malloc::PimMalloc::init(&mut dpu, cfg),
         Err(pim_malloc::InitError::Wram(_))
     ));
+}
+
+/// The non-serial engines the 512-DPU equality tests pit against the
+/// serial reference.
+const PARALLEL_POLICIES: [ExecPolicy; 3] = [
+    ExecPolicy::Oblivious,
+    ExecPolicy::Sticky,
+    ExecPolicy::StickySteal,
+];
+
+#[test]
+fn graph_update_at_512_dpus_is_engine_invariant() {
+    // The Figure 15/17-style graph update, partitioned over 512 DPUs:
+    // serial == parallel == topology-aware, field for field.
+    use pim_workloads::graph::{run_graph_update, GraphUpdateConfig, GraphUpdateResult};
+    let cfg = |exec: ExecPolicy| GraphUpdateConfig {
+        n_dpus: 512,
+        n_nodes: 4096,
+        base_edges: 16_000,
+        new_edges: 16_000,
+        exec,
+        ..GraphUpdateConfig::default()
+    };
+    // Everything simulated; host_placement_secs is deliberately
+    // excluded — it reflects the executor's cross-run ledger history,
+    // not this run's DPU results.
+    let key = |r: &GraphUpdateResult| {
+        (
+            r.update_secs.to_bits(),
+            r.throughput_meps.to_bits(),
+            r.alloc_timeline.clone(),
+            r.per_tasklet_malloc_us.clone(),
+            r.meta_bytes,
+            r.dram_bytes,
+            r.total_mallocs,
+            r.frag_ratio.to_bits(),
+            r.host_push_secs.to_bits(),
+            r.host_xfer_calls,
+        )
+    };
+    let reference = key(&run_graph_update(&cfg(ExecPolicy::Serial)));
+    for policy in PARALLEL_POLICIES {
+        assert_eq!(
+            key(&run_graph_update(&cfg(policy))),
+            reference,
+            "{policy:?} diverged from the serial engine"
+        );
+    }
+}
+
+#[test]
+fn llm_serving_at_512_dpus_is_engine_invariant() {
+    // run_serving_many fans one share-nothing simulation per KV scheme
+    // (each modeling the default 512-DPU PIM side); every policy must
+    // reproduce the serial map exactly.
+    use pim_workloads::llm::{
+        fixed_trace, run_serving, run_serving_many, KvScheme, ServingConfig, ServingResult,
+    };
+    use pim_workloads::AllocatorKind;
+    let schemes = [
+        KvScheme::Static,
+        KvScheme::Dynamic(AllocatorKind::StrawMan),
+        KvScheme::Dynamic(AllocatorKind::Sw),
+        KvScheme::Dynamic(AllocatorKind::HwSw),
+    ];
+    let trace = fixed_trace(40, 10.0);
+    let base = ServingConfig::default();
+    assert_eq!(base.llm.n_dpus, 512, "the paper's serving fleet");
+    let key = |r: &ServingResult| {
+        (
+            r.throughput_tokens_per_s.to_bits(),
+            r.tpot_p50_ms.to_bits(),
+            r.tpot_p95_ms.to_bits(),
+            r.tpot_p99_ms.to_bits(),
+            r.peak_batch,
+            r.makespan_s.to_bits(),
+            r.kv_push_secs.to_bits(),
+            r.kv_push_stall_secs.to_bits(),
+            r.kv_push_calls,
+        )
+    };
+    let reference: Vec<_> = schemes
+        .iter()
+        .map(|&s| key(&run_serving(s, &base, &trace)))
+        .collect();
+    for policy in PARALLEL_POLICIES {
+        let cfg = ServingConfig {
+            exec: policy,
+            ..base
+        };
+        let results = run_serving_many(&schemes, &cfg, &trace);
+        let got: Vec<_> = results.iter().map(key).collect();
+        assert_eq!(got, reference, "{policy:?} diverged from the serial map");
+    }
+}
+
+#[test]
+fn trace_fleet_at_512_dpus_is_engine_invariant() {
+    // replay_fleet over 512 share-nothing DPUs: per-DPU timelines and
+    // the fleet aggregates must not depend on the engine.
+    use pim_trace::{replay_fleet, synthesize, FleetConfig, SizeLaw, SynthConfig, TemporalShape};
+    let trace = synthesize(&SynthConfig {
+        n_tasklets: 4,
+        mallocs_per_tasklet: 24,
+        size_law: SizeLaw::Uniform { min: 16, max: 1024 },
+        shape: TemporalShape::Steady { compute: 300 },
+        heap_size: 1 << 20,
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let build = |dpu: &mut DpuSim| -> Box<dyn PimAllocator> {
+        let cfg = pim_malloc::PimMallocConfig::sw(4).with_heap_size(1 << 20);
+        Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
+    };
+    let fleet = |exec: ExecPolicy| {
+        replay_fleet(
+            &trace,
+            &FleetConfig {
+                n_dpus: 512,
+                exec,
+                ..FleetConfig::default()
+            },
+            build,
+        )
+    };
+    let reference = fleet(ExecPolicy::Serial);
+    for policy in PARALLEL_POLICIES {
+        let got = fleet(policy);
+        assert_eq!(got.per_dpu.len(), 512);
+        for (g, r) in got.per_dpu.iter().zip(&reference.per_dpu) {
+            assert_eq!(g.timeline, r.timeline, "{policy:?}");
+            assert_eq!(g.oom_count, r.oom_count, "{policy:?}");
+        }
+        assert_eq!(got.kernel_finish, reference.kernel_finish, "{policy:?}");
+        assert_eq!(got.mean_latency(), reference.mean_latency(), "{policy:?}");
+        assert_eq!(got.distribution, reference.distribution, "{policy:?}");
+    }
 }
 
 #[test]

@@ -79,19 +79,19 @@ fn serial_and_parallel_replay_agree_on_recorded_trace() {
         ..MicroConfig::default()
     };
     let (_, trace) = run_micro_recorded(AllocatorKind::Sw, &cfg);
-    let fleet = |parallel: bool| {
+    let fleet = |exec: pim_sim::ExecPolicy| {
         replay_fleet(
             &trace,
             &FleetConfig {
                 n_dpus: 8,
-                parallel,
+                exec,
                 ..FleetConfig::default()
             },
             |dpu| AllocatorKind::Sw.build(dpu, trace.n_tasklets, trace.heap_size),
         )
     };
-    let par = fleet(true);
-    let ser = fleet(false);
+    let par = fleet(pim_sim::ExecPolicy::StickySteal);
+    let ser = fleet(pim_sim::ExecPolicy::Serial);
     for (p, s) in par.per_dpu.iter().zip(&ser.per_dpu) {
         assert_eq!(p.timeline, s.timeline);
     }
