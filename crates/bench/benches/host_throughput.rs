@@ -165,11 +165,12 @@ fn placement_sweep(policy: ExecPolicy) -> PlacementArm {
 
 /// The 256-DPU host-executed DSE run under one transfer schedule.
 fn dse_host_executed(batching: HostBatching) -> DseResult {
+    let base = DseConfig::default().with_dpus(DSE_DPUS);
     run_strategy(
         Strategy::HostMetaHostExec,
         &DseConfig {
-            batching,
-            ..DseConfig::default().with_dpus(DSE_DPUS)
+            ctx: base.ctx.with_batching(batching),
+            ..base
         },
     )
 }

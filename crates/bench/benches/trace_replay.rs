@@ -80,8 +80,7 @@ fn bench_fleet(c: &mut Criterion) {
     ] {
         let cfg = FleetConfig {
             n_dpus: 64,
-            exec,
-            ..FleetConfig::default()
+            ctx: pim_sim::SimContext::default().with_exec(exec),
         };
         g.bench_function(label, |b| {
             b.iter(|| replay_fleet(&trace, &cfg, |dpu| build(dpu, &trace)).kernel_finish)

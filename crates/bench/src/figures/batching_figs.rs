@@ -39,11 +39,12 @@ pub fn host_batching(quick: bool) -> Experiment {
         .collect();
     let dse = parallel_indexed_with(grid.len(), SWEEP_POLICY, |i| {
         let (batching, n) = grid[i];
+        let base = DseConfig::default().with_dpus(n);
         run_strategy(
             Strategy::HostMetaHostExec,
             &DseConfig {
-                batching,
-                ..DseConfig::default().with_dpus(n)
+                ctx: base.ctx.with_batching(batching),
+                ..base
             },
         )
     });
@@ -62,11 +63,12 @@ pub fn host_batching(quick: bool) -> Experiment {
     // (sharded) or stalls every decode step (per-DPU).
     let trace = fixed_trace(if quick { 40 } else { 100 }, 10.0);
     let serving = parallel_indexed_with(POLICIES.len(), SWEEP_POLICY, |i| {
+        let base = ServingConfig::default();
         run_serving(
             KvScheme::Dynamic(AllocatorKind::Sw),
             &ServingConfig {
-                batching: POLICIES[i],
-                ..ServingConfig::default()
+                ctx: base.ctx.with_batching(POLICIES[i]),
+                ..base
             },
             &trace,
         )
@@ -94,7 +96,7 @@ pub fn host_batching(quick: bool) -> Experiment {
     };
     let graph = parallel_indexed_with(POLICIES.len(), SWEEP_POLICY, |i| {
         run_graph_update(&GraphUpdateConfig {
-            batching: POLICIES[i],
+            ctx: graph_cfg.ctx.with_batching(POLICIES[i]),
             ..graph_cfg
         })
     });

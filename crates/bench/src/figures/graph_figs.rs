@@ -14,18 +14,19 @@ use crate::report::{Experiment, Row};
 use super::SWEEP_POLICY;
 
 fn scaled(quick: bool, seed: u64) -> GraphUpdateConfig {
+    let ctx = pim_sim::SimContext::default().with_seed(seed);
     if quick {
         GraphUpdateConfig {
             n_dpus: 4,
             n_nodes: 2048,
             base_edges: 6400,
             new_edges: 3200,
-            seed,
+            ctx,
             ..GraphUpdateConfig::default()
         }
     } else {
         GraphUpdateConfig {
-            seed,
+            ctx,
             ..GraphUpdateConfig::default()
         }
     }

@@ -14,6 +14,7 @@ mod graph_figs;
 mod llm_figs;
 mod micro_figs;
 mod overhead_figs;
+mod serve_figs;
 mod trace_figs;
 
 pub use batching_figs::host_batching;
@@ -23,6 +24,7 @@ pub use graph_figs::{fig11, fig17, fig3c};
 pub use llm_figs::{fig18, fig4b};
 pub use micro_figs::{ablation_descent, ablation_swlru, fig15, fig16, fig7, fig8};
 pub use overhead_figs::{hw_overhead, metadata_overhead, table3};
+pub use serve_figs::serve_frontend;
 pub use trace_figs::{scenario_families, trace_artifact_files, trace_replay, TRACE_DEFAULT_SEED};
 
 use crate::report::Experiment;
@@ -36,10 +38,12 @@ const SWEEP_POLICY: pim_sim::ExecPolicy = pim_sim::ExecPolicy::Oblivious;
 const LLM_DEFAULT_SEED: u64 = 11;
 /// Fixed seed of the graph-update workload generator.
 const GRAPH_DEFAULT_SEED: u64 = 42;
+/// Fixed seed of the serving frontend's request stream.
+const SERVE_DEFAULT_SEED: u64 = 0x5E21;
 
 /// Every experiment id with a one-line description, in paper order
 /// (extensions last). `repro list` prints this catalogue.
-pub const CATALOG: [(&str, &str); 18] = [
+pub const CATALOG: [(&str, &str); 19] = [
     (
         "fig3c",
         "graph-update slowdown vs pre-update graph size, static vs dynamic",
@@ -106,6 +110,10 @@ pub const CATALOG: [(&str, &str); 18] = [
         "trace",
         "allocation-trace subsystem: synthetic scenario families x allocators, record/replay fidelity",
     ),
+    (
+        "serve",
+        "open-loop serving frontend: SLO tail latencies per arrival shape, drops, saturation knee",
+    ),
 ];
 
 /// Every experiment id, in catalogue order.
@@ -149,6 +157,7 @@ pub fn run(id: &str, quick: bool, seed: Option<u64>) -> Vec<Experiment> {
         ],
         "host-batching" => vec![host_batching(quick)],
         "trace" => vec![trace_replay(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
+        "serve" => vec![serve_frontend(quick, seed.unwrap_or(SERVE_DEFAULT_SEED))],
         other => {
             let ids: Vec<&str> = all_ids().collect();
             panic!("unknown experiment id `{other}`; valid ids: {ids:?}")

@@ -1,7 +1,7 @@
 //! Executes one design strategy and reports the latency split.
 
 use pim_malloc::{PimAllocator, StrawManAllocator, StrawManConfig};
-use pim_sim::{DpuConfig, DpuSim, ExecPolicy, HostBatching, HostConfig, HostSim, TransferModel};
+use pim_sim::{DpuConfig, DpuSim, HostConfig, HostSim, SimContext};
 use serde::{Deserialize, Serialize};
 
 use crate::strategy::Strategy;
@@ -20,17 +20,15 @@ pub struct DseConfig {
     pub straw_man: StrawManConfig,
     /// Host CPU model (Xeon Gold 5222-like: 8 hardware threads).
     pub host: HostConfig,
-    /// Host↔PIM transfer model.
-    pub transfer: TransferModel,
-    /// How host↔PIM transfer plans are scheduled: per-DPU calls or
-    /// per-rank shards. Sweeping this is what separates a naive host
-    /// loop from a batched `dpu_push_xfer` data path.
-    pub batching: HostBatching,
-    /// How [`sweep`] places its grid points on the host executor.
-    /// Grid cells carry no cross-epoch index locality, so the default
-    /// is [`ExecPolicy::Oblivious`]; results are identical under every
-    /// policy.
-    pub exec: ExecPolicy,
+    /// Shared execution context: `ctx.transfer` prices host↔PIM
+    /// traffic, `ctx.batching` schedules it (per-DPU calls vs per-rank
+    /// shards — what separates a naive host loop from a batched
+    /// `dpu_push_xfer` data path), and `ctx.exec` places [`sweep`]'s
+    /// grid points on the host executor. Grid cells carry no
+    /// cross-epoch index locality, so the default is
+    /// [`SimContext::sweep_default`] ([`pim_sim::ExecPolicy::Oblivious`]);
+    /// results are identical under every policy.
+    pub ctx: SimContext,
     /// Fixed cost of one `pimLaunch` kernel dispatch, microseconds.
     pub launch_us: f64,
     /// Host last-level cache capacity, bytes — determines how much of
@@ -54,9 +52,7 @@ impl Default for DseConfig {
             alloc_size: 32,
             straw_man: StrawManConfig::default(),
             host: HostConfig::default(),
-            transfer: TransferModel::default(),
-            batching: HostBatching::Sharded,
-            exec: ExecPolicy::Oblivious,
+            ctx: SimContext::sweep_default(),
             launch_us: 60.0,
             host_llc_bytes: 16 << 20,
         }
@@ -150,11 +146,12 @@ fn host_miss_fraction(config: &DseConfig) -> f64 {
 /// The modelled control flow follows Figure 5 of the paper: each of
 /// the `allocs_per_dpu` rounds performs the strategy's per-round
 /// compute plus the transfer plans [`Strategy::round_plans`] emits,
-/// scheduled under [`DseConfig::batching`]. `PimMetaPimExec` launches
+/// scheduled under the config context's batching policy.
+/// `PimMetaPimExec` launches
 /// once and the PIM cores run the entire batch locally, issuing no
 /// host↔PIM traffic at all.
 pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
-    let mut host = HostSim::new(config.host, config.transfer);
+    let mut host = HostSim::new(config.host, config.ctx.transfer);
     let rounds = config.allocs_per_dpu;
     let meta_bytes = u64::from(
         pim_malloc::BuddyGeometry::new(
@@ -196,7 +193,7 @@ pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
     let plans = strategy.round_plans(config.n_dpus, meta_bytes);
     for _ in 0..rounds {
         for plan in &plans {
-            host.transfer_plan(plan, config.batching);
+            host.transfer_plan(plan, config.ctx.batching);
         }
     }
 
@@ -217,7 +214,7 @@ pub fn run_strategy(strategy: Strategy, config: &DseConfig) -> DseResult {
 ///
 /// Each grid point is an independent simulation (its own `DpuSim` and
 /// host model), so the sweep fans out over the machine's cores via the
-/// topology-aware executor ([`DseConfig::exec`]) and merges results
+/// topology-aware executor (`config.ctx.exec`) and merges results
 /// back in grid order — the output is identical to the serial double
 /// loop it replaced, under every policy and worker count.
 pub fn sweep(config: &DseConfig, dpu_counts: &[usize]) -> Vec<DseResult> {
@@ -225,7 +222,7 @@ pub fn sweep(config: &DseConfig, dpu_counts: &[usize]) -> Vec<DseResult> {
         .iter()
         .flat_map(|&s| dpu_counts.iter().map(move |&n| (s, n)))
         .collect();
-    pim_sim::parallel_indexed_with(grid.len(), config.exec, |i| {
+    pim_sim::parallel_indexed_with(grid.len(), config.ctx.exec, |i| {
         let (strategy, n) = grid[i];
         run_strategy(strategy, &config.clone().with_dpus(n))
     })
@@ -234,6 +231,7 @@ pub fn sweep(config: &DseConfig, dpu_counts: &[usize]) -> Vec<DseResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pim_sim::HostBatching;
 
     fn cfg(n: usize) -> DseConfig {
         DseConfig::default().with_dpus(n)
@@ -319,14 +317,14 @@ mod tests {
         let per_dpu = run_strategy(
             Strategy::HostMetaHostExec,
             &DseConfig {
-                batching: HostBatching::PerDpu,
+                ctx: base.ctx.with_batching(HostBatching::PerDpu),
                 ..base.clone()
             },
         );
         let sharded = run_strategy(
             Strategy::HostMetaHostExec,
             &DseConfig {
-                batching: HostBatching::Sharded,
+                ctx: base.ctx.with_batching(HostBatching::Sharded),
                 ..base
             },
         );
@@ -343,11 +341,12 @@ mod tests {
         assert_eq!(sharded.compute_secs, per_dpu.compute_secs);
         // The on-DPU design point is untouched by the policy.
         for batching in [HostBatching::PerDpu, HostBatching::Sharded] {
+            let base = cfg(256);
             let r = run_strategy(
                 Strategy::PimMetaPimExec,
                 &DseConfig {
-                    batching,
-                    ..cfg(256)
+                    ctx: base.ctx.with_batching(batching),
+                    ..base
                 },
             );
             assert_eq!(r.transfer_calls, 0);

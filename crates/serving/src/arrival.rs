@@ -1,0 +1,238 @@
+//! Seeded open-loop arrival processes.
+//!
+//! An [`ArrivalProcess`] expands, via the same seeded-generator
+//! discipline as `pim_trace::synthesize`, into a deterministic sorted
+//! vector of arrival timestamps (virtual nanoseconds). Open-loop means
+//! arrivals do not react to the system: a saturated frontend keeps
+//! receiving requests, which is what makes tail latency and drop
+//! counts meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Spacing between requests inside one burst of
+/// [`ArrivalProcess::Bursty`], seconds (2 µs — back-to-back RPC
+/// deserialisation on the host).
+const INTRA_BURST_GAP_SECS: f64 = 2e-6;
+
+/// Shape of the open-loop request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean offered load, requests per second.
+        rps: f64,
+    },
+    /// Bursts of `burst` back-to-back requests whose *epochs* form a
+    /// Poisson process at `rps / burst` — same mean rate as
+    /// [`ArrivalProcess::Poisson`], far worse instantaneous load.
+    Bursty {
+        /// Mean offered load, requests per second.
+        rps: f64,
+        /// Requests per burst.
+        burst: usize,
+    },
+    /// Sinusoidally modulated rate `rps * (1 + depth * sin(2πt/period))`
+    /// — a compressed day/night load curve, sampled by thinning.
+    Diurnal {
+        /// Mean offered load, requests per second.
+        rps: f64,
+        /// Period of the modulation, seconds.
+        period_secs: f64,
+        /// Modulation depth in `[0, 1)`: peak load is `(1 + depth)·rps`.
+        depth: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label used in report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// Mean offered load, requests per second.
+    pub fn mean_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rps }
+            | ArrivalProcess::Bursty { rps, .. }
+            | ArrivalProcess::Diurnal { rps, .. } => rps,
+        }
+    }
+
+    /// The same shape at a different mean rate — how the saturation
+    /// sweep scales offered load without changing burstiness.
+    pub fn with_rps(self, rps: f64) -> Self {
+        match self {
+            ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson { rps },
+            ArrivalProcess::Bursty { burst, .. } => ArrivalProcess::Bursty { rps, burst },
+            ArrivalProcess::Diurnal {
+                period_secs, depth, ..
+            } => ArrivalProcess::Diurnal {
+                rps,
+                period_secs,
+                depth,
+            },
+        }
+    }
+
+    /// Expands the process into `n` arrival timestamps in virtual
+    /// nanoseconds, sorted ascending. Deterministic per `(self, seed,
+    /// n)`; equal prefixes: growing `n` appends later arrivals without
+    /// disturbing earlier ones (before the final sort, which only
+    /// matters for overlapping bursts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean rate is not strictly positive.
+    pub fn arrival_times_ns(&self, seed: u64, n: usize) -> Vec<u64> {
+        assert!(
+            self.mean_rps() > 0.0,
+            "arrival process needs a positive rate"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut times = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rps } => {
+                let mut t = 0.0f64;
+                for _ in 0..n {
+                    t += exp_sample(&mut rng, rps);
+                    times.push(to_ns(t));
+                }
+            }
+            ArrivalProcess::Bursty { rps, burst } => {
+                let burst = burst.max(1);
+                let epoch_rate = rps / burst as f64;
+                let mut epoch = 0.0f64;
+                while times.len() < n {
+                    epoch += exp_sample(&mut rng, epoch_rate);
+                    for k in 0..burst.min(n - times.len()) {
+                        times.push(to_ns(epoch + k as f64 * INTRA_BURST_GAP_SECS));
+                    }
+                }
+            }
+            ArrivalProcess::Diurnal {
+                rps,
+                period_secs,
+                depth,
+            } => {
+                // Lewis–Shedler thinning against the peak rate.
+                let depth = depth.clamp(0.0, 0.99);
+                let period = period_secs.max(1e-9);
+                let peak = rps * (1.0 + depth);
+                let mut t = 0.0f64;
+                while times.len() < n {
+                    t += exp_sample(&mut rng, peak);
+                    let lambda =
+                        rps * (1.0 + depth * (2.0 * std::f64::consts::PI * t / period).sin());
+                    if rng.gen_range(0.0..1.0) * peak < lambda {
+                        times.push(to_ns(t));
+                    }
+                }
+            }
+        }
+        // Bursts can overlap when an epoch gap is shorter than the
+        // burst span; the frontend wants a time-ordered stream.
+        times.sort_unstable();
+        times
+    }
+}
+
+/// One exponential inter-arrival gap at `rate` per second.
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+fn to_ns(secs: f64) -> u64 {
+    (secs * 1e9).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 20_000;
+
+    fn all() -> [ArrivalProcess; 3] {
+        [
+            ArrivalProcess::Poisson { rps: 1e5 },
+            ArrivalProcess::Bursty {
+                rps: 1e5,
+                burst: 16,
+            },
+            ArrivalProcess::Diurnal {
+                rps: 1e5,
+                period_secs: 0.05,
+                depth: 0.8,
+            },
+        ]
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        for p in all() {
+            let a = p.arrival_times_ns(7, N);
+            let b = p.arrival_times_ns(7, N);
+            assert_eq!(a, b, "{}", p.label());
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{}", p.label());
+            assert_ne!(a, p.arrival_times_ns(8, N), "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_respected() {
+        // Span of N arrivals ≈ N / rps for every shape (±15%).
+        for p in all() {
+            let t = p.arrival_times_ns(42, N);
+            let span_secs = *t.last().unwrap() as f64 * 1e-9;
+            let expected = N as f64 / p.mean_rps();
+            assert!(
+                (span_secs - expected).abs() < expected * 0.15,
+                "{}: span {span_secs} vs expected {expected}",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_clusters_harder_than_poisson() {
+        // Fraction of inter-arrival gaps under 3 µs: bursty packs
+        // 15/16 of its arrivals back-to-back, Poisson at 100 krps
+        // almost never gets that close.
+        let tight = |p: ArrivalProcess| {
+            let t = p.arrival_times_ns(1, N);
+            t.windows(2).filter(|w| w[1] - w[0] < 3_000).count() as f64 / (N - 1) as f64
+        };
+        let poisson = tight(ArrivalProcess::Poisson { rps: 1e5 });
+        let bursty = tight(ArrivalProcess::Bursty {
+            rps: 1e5,
+            burst: 16,
+        });
+        assert!(
+            bursty > poisson + 0.3,
+            "bursty {bursty} vs poisson {poisson}"
+        );
+    }
+
+    #[test]
+    fn with_rps_scales_rate_and_keeps_shape() {
+        let p = ArrivalProcess::Bursty { rps: 1e4, burst: 8 };
+        let fast = p.with_rps(2e4);
+        assert_eq!(fast.mean_rps(), 2e4);
+        assert_eq!(fast.label(), "bursty");
+        let slow_span = *p.arrival_times_ns(3, N).last().unwrap();
+        let fast_span = *fast.arrival_times_ns(3, N).last().unwrap();
+        assert!(fast_span < slow_span, "doubling the rate halves the span");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::Poisson { rps: 0.0 }.arrival_times_ns(1, 10);
+    }
+}

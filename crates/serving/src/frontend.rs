@@ -1,0 +1,423 @@
+//! The deterministic open-loop serving event loop.
+//!
+//! [`serve`] admits a seeded arrival stream of allocation-bearing
+//! requests into a fleet of `n_dpus` DPUs and reports SLO metrics in
+//! *simulated* time. The loop is a discrete-event simulation over
+//! virtual nanoseconds driven by [`pim_sim::EventQueue`]:
+//!
+//! 1. **Admission** — each arrival is hash-routed round-robin over
+//!    admitted requests to a DPU; if that DPU already holds
+//!    `queue_cap` requests in flight, the request is *dropped*
+//!    (bounded-queue admission control), otherwise it is staged into
+//!    the current dispatch window.
+//! 2. **Dispatch** — every `window_us` the staged requests flush as
+//!    one host→PIM push: the window's per-DPU payload bytes form a
+//!    [`TransferPlan`] priced by the shared [`SimContext::planner`],
+//!    and every request in the window becomes runnable once the push
+//!    lands.
+//! 3. **Service** — each DPU serves its queue FIFO; a request's
+//!    service time is its class's replay-calibrated fragment time
+//!    (see [`RequestClass::service_ns`]). Completion events feed the
+//!    queue-depth timeline.
+//!
+//! Everything is single-threaded and seeded, so a [`ServeReport`] is
+//! byte-identical across [`pim_sim::ExecPolicy`] values and worker
+//! counts by construction; the saturation sweep in [`crate::sweep`]
+//! fans *independent* serve runs over the executor and merges them in
+//! index order, preserving the contract.
+
+use pim_sim::{
+    Cycles, EventQueue, LatencyRecorder, LatencySummary, SimContext, TransferDirection,
+    TransferPlan,
+};
+
+use crate::arrival::ArrivalProcess;
+use crate::request::{assign_classes, BuildAllocator, RequestClass};
+
+/// Seed salt separating the class-composition substream from the
+/// arrival-time substream.
+const CLASS_STREAM_SALT: u64 = 0xC1A5_5E5E_D000_0001;
+
+/// Open-loop serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// DPUs in the serving fleet.
+    pub n_dpus: usize,
+    /// Requests in the open-loop stream.
+    pub n_requests: usize,
+    /// Arrival process (shape + mean offered load).
+    pub arrival: ArrivalProcess,
+    /// Per-DPU bound on requests in flight (staged + queued +
+    /// in service); arrivals beyond it are dropped.
+    pub queue_cap: usize,
+    /// Dispatch-window length, microseconds: staged requests flush as
+    /// one batched host→PIM push per window.
+    pub window_us: u64,
+    /// Maximum points retained in the queue-depth timeline (sampled
+    /// at dispatch boundaries, then evenly thinned).
+    pub timeline_points: usize,
+    /// Shared execution context: `seed` drives arrivals and class
+    /// composition, `transfer`/`batching` price dispatch windows,
+    /// `exec` fans out sweep points (never a single run).
+    pub ctx: SimContext,
+}
+
+impl Default for ServeConfig {
+    /// The paper-scale fleet: 2560 DPUs (40 ranks), one million
+    /// requests, 100 µs dispatch windows, 64-deep per-DPU queues.
+    fn default() -> Self {
+        ServeConfig {
+            n_dpus: 2560,
+            n_requests: 1_000_000,
+            arrival: ArrivalProcess::Poisson { rps: 5e5 },
+            queue_cap: 64,
+            window_us: 100,
+            timeline_points: 256,
+            ctx: SimContext::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The same config with a different arrival process.
+    pub fn with_arrival(self, arrival: ArrivalProcess) -> Self {
+        ServeConfig { arrival, ..self }
+    }
+}
+
+/// Outcome of one open-loop serving run, all in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Mean offered load of the arrival process, requests/second.
+    pub offered_rps: f64,
+    /// Completed requests over the simulated makespan.
+    pub achieved_rps: f64,
+    /// Requests admitted (and completed — admitted work always
+    /// finishes; only admission is bounded).
+    pub admitted: u64,
+    /// Requests dropped at admission by the bounded queue.
+    pub dropped: u64,
+    /// End-to-end request latency (arrival → completion), nanoseconds
+    /// carried in [`Cycles`]: p50/p95/p99/p99.9/max and mean.
+    pub latency: LatencySummary,
+    /// `(simulated seconds, requests in flight)` sampled at dispatch
+    /// boundaries, thinned to at most `timeline_points` entries.
+    pub queue_depth: Vec<(f64, u64)>,
+    /// Peak requests in flight across the fleet.
+    pub peak_in_flight: u64,
+    /// Modeled host seconds spent on dispatch-window pushes.
+    pub push_secs: f64,
+    /// Transfer calls the dispatch schedule issued.
+    pub push_calls: u64,
+    /// Simulated seconds from first arrival to last completion.
+    pub makespan_secs: f64,
+}
+
+impl ServeReport {
+    /// Fraction of offered requests dropped at admission.
+    pub fn drop_frac(&self) -> f64 {
+        let total = self.admitted + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+
+    /// A latency field in milliseconds (the recorder stores ns).
+    fn ms(c: Cycles) -> f64 {
+        c.0 as f64 * 1e-6
+    }
+
+    /// Median latency, ms.
+    pub fn p50_ms(&self) -> f64 {
+        Self::ms(self.latency.p50)
+    }
+
+    /// 95th-percentile latency, ms.
+    pub fn p95_ms(&self) -> f64 {
+        Self::ms(self.latency.p95)
+    }
+
+    /// 99th-percentile latency, ms.
+    pub fn p99_ms(&self) -> f64 {
+        Self::ms(self.latency.p99)
+    }
+
+    /// 99.9th-percentile latency, ms.
+    pub fn p999_ms(&self) -> f64 {
+        Self::ms(self.latency.p999)
+    }
+
+    /// Worst observed latency, ms.
+    pub fn max_ms(&self) -> f64 {
+        Self::ms(self.latency.max)
+    }
+}
+
+/// Events of the serving loop. Ordering ties at one timestamp resolve
+/// by push order ([`EventQueue`] is FIFO within a timestamp), which is
+/// itself deterministic.
+enum Ev {
+    /// Request `idx` of the stream reaches the frontend.
+    Arrive(u32),
+    /// The current dispatch window closes.
+    Flush,
+    /// A request finishes on `dpu`.
+    Complete(u32),
+}
+
+/// Runs the open-loop frontend. See the module docs for the model.
+///
+/// # Panics
+///
+/// Panics on an empty fleet/stream/class set, a zero queue cap, or a
+/// non-positive arrival rate.
+pub fn serve(cfg: &ServeConfig, classes: &[RequestClass], build: BuildAllocator) -> ServeReport {
+    assert!(cfg.n_dpus > 0, "serving needs at least one DPU");
+    assert!(cfg.n_requests > 0, "serving needs requests");
+    assert!(cfg.queue_cap > 0, "a zero queue cap drops everything");
+    let svc_ns: Vec<u64> = classes.iter().map(|c| c.service_ns(build)).collect();
+    let arrivals = cfg.arrival.arrival_times_ns(cfg.ctx.seed, cfg.n_requests);
+    let class_of = assign_classes(classes, cfg.ctx.seed ^ CLASS_STREAM_SALT, cfg.n_requests);
+    let window_ns = (cfg.window_us * 1_000).max(1);
+    let planner = cfg.ctx.planner();
+
+    let mut ev: EventQueue<Ev> = EventQueue::new();
+    ev.push(arrivals[0], Ev::Arrive(0));
+    let mut next_arrival = 1usize;
+
+    // free_at covers staging: a window's requests start no earlier
+    // than its flush + push, FIFO per DPU thereafter.
+    let mut free_at = vec![0u64; cfg.n_dpus];
+    let mut in_flight = vec![0u32; cfg.n_dpus];
+    let mut staged: Vec<(u64, u32, u32)> = Vec::new(); // (arrival_ns, dpu, class)
+    let mut window_bytes = vec![0u64; cfg.n_dpus];
+    let mut flush_scheduled = false;
+
+    let mut rec = LatencyRecorder::new();
+    let mut admitted = 0u64;
+    let mut dropped = 0u64;
+    let mut total_in_flight = 0u64;
+    let mut peak_in_flight = 0u64;
+    let mut depth_series: Vec<(u64, u64)> = Vec::new();
+    let mut push_secs = 0.0f64;
+    let mut push_calls = 0u64;
+    let mut last_event_ns = 0u64;
+
+    while let Some((now, event)) = ev.pop() {
+        last_event_ns = last_event_ns.max(now);
+        match event {
+            Ev::Arrive(idx) => {
+                let dpu = (admitted % cfg.n_dpus as u64) as usize;
+                if u64::from(in_flight[dpu]) >= cfg.queue_cap as u64 {
+                    dropped += 1;
+                } else {
+                    in_flight[dpu] += 1;
+                    total_in_flight += 1;
+                    peak_in_flight = peak_in_flight.max(total_in_flight);
+                    staged.push((now, dpu as u32, class_of[idx as usize]));
+                    window_bytes[dpu] += classes[class_of[idx as usize] as usize].payload_bytes;
+                    admitted += 1;
+                    if !flush_scheduled {
+                        // Close the window at the next boundary.
+                        ev.push((now / window_ns + 1) * window_ns, Ev::Flush);
+                        flush_scheduled = true;
+                    }
+                }
+                if next_arrival < arrivals.len() {
+                    ev.push(arrivals[next_arrival], Ev::Arrive(next_arrival as u32));
+                    next_arrival += 1;
+                }
+            }
+            Ev::Flush => {
+                flush_scheduled = false;
+                let mut plan = TransferPlan::new(TransferDirection::HostToPim);
+                for (dpu, bytes) in window_bytes.iter_mut().enumerate() {
+                    if *bytes > 0 {
+                        plan.push(dpu, *bytes);
+                        *bytes = 0;
+                    }
+                }
+                let est = planner.estimate(&plan);
+                push_secs += est.secs;
+                push_calls += est.calls;
+                let runnable_at = now + (est.secs * 1e9).round() as u64;
+                for &(arrived, dpu, class) in &staged {
+                    let dpu = dpu as usize;
+                    let start = free_at[dpu].max(runnable_at);
+                    let done = start + svc_ns[class as usize];
+                    free_at[dpu] = done;
+                    rec.record(Cycles(done - arrived));
+                    ev.push(done, Ev::Complete(dpu as u32));
+                }
+                staged.clear();
+                depth_series.push((now, total_in_flight));
+            }
+            Ev::Complete(dpu) => {
+                in_flight[dpu as usize] -= 1;
+                total_in_flight -= 1;
+            }
+        }
+    }
+    debug_assert_eq!(total_in_flight, 0, "every admitted request completes");
+
+    let makespan_secs = last_event_ns as f64 * 1e-9;
+    // Thin the dispatch-boundary samples to a bounded, evenly spaced
+    // timeline (deterministic index arithmetic).
+    let queue_depth: Vec<(f64, u64)> = if depth_series.len() <= cfg.timeline_points.max(1) {
+        depth_series
+            .iter()
+            .map(|&(t, d)| (t as f64 * 1e-9, d))
+            .collect()
+    } else {
+        let points = cfg.timeline_points.max(1);
+        (0..points)
+            .map(|i| {
+                let (t, d) = depth_series[i * depth_series.len() / points];
+                (t as f64 * 1e-9, d)
+            })
+            .collect()
+    };
+
+    ServeReport {
+        offered_rps: cfg.arrival.mean_rps(),
+        achieved_rps: if makespan_secs > 0.0 {
+            admitted as f64 / makespan_secs
+        } else {
+            0.0
+        },
+        admitted,
+        dropped,
+        latency: rec.summary(),
+        queue_depth,
+        peak_in_flight,
+        push_secs,
+        push_calls,
+        makespan_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_malloc::PimAllocator;
+    use pim_sim::DpuSim;
+    use pim_trace::{synthesize, SizeLaw, SynthConfig, TemporalShape};
+
+    fn sw_build(dpu: &mut DpuSim, tasklets: usize, heap: u32) -> Box<dyn PimAllocator> {
+        let cfg = pim_malloc::PimMallocConfig::sw(tasklets).with_heap_size(heap);
+        Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
+    }
+
+    fn small_class() -> RequestClass {
+        let trace = synthesize(&SynthConfig {
+            n_tasklets: 4,
+            mallocs_per_tasklet: 8,
+            size_law: SizeLaw::Fixed(64),
+            shape: TemporalShape::Steady { compute: 100 },
+            heap_size: 1 << 20,
+            ..SynthConfig::default()
+        });
+        RequestClass::new("small", trace, 2048, 1.0)
+    }
+
+    fn quick_cfg(rps: f64) -> ServeConfig {
+        ServeConfig {
+            n_dpus: 16,
+            n_requests: 2_000,
+            arrival: ArrivalProcess::Poisson { rps },
+            queue_cap: 32,
+            window_us: 50,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Rates relative to the calibrated capacity of the 16-DPU test
+    /// fleet, so load levels stay meaningful if cost models move.
+    fn at_load(mult: f64) -> ServeConfig {
+        let cap = crate::sweep::estimated_capacity_rps(&[small_class()], &sw_build, 16);
+        quick_cfg(mult * cap)
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let cfg = at_load(0.5);
+        let classes = [small_class()];
+        let a = serve(&cfg, &classes, &sw_build);
+        let b = serve(&cfg, &classes, &sw_build);
+        assert_eq!(a, b);
+        assert_eq!(a.admitted + a.dropped, cfg.n_requests as u64);
+        assert_eq!(a.latency.count, a.admitted);
+        assert!(a.makespan_secs > 0.0);
+        assert!(a.push_calls > 0);
+    }
+
+    #[test]
+    fn light_load_sees_no_drops_and_low_latency() {
+        let r = serve(&at_load(0.3), &[small_class()], &sw_build);
+        assert_eq!(r.dropped, 0, "0.3x capacity is far from the knee");
+        // Latency is bounded below by one dispatch window and, at
+        // light load, stays within a few service times of it.
+        let service_ms = small_class().service_ns(&sw_build) as f64 * 1e-6;
+        assert!(r.p50_ms() >= 0.05 * 0.5);
+        assert!(
+            r.p50_ms() < 4.0 * service_ms + 1.0,
+            "uncongested p50 {} ms vs service {} ms",
+            r.p50_ms(),
+            service_ms
+        );
+        assert!(r.latency.p50 <= r.latency.p99);
+    }
+
+    #[test]
+    fn overload_drops_and_inflates_the_tail() {
+        let light = serve(&at_load(0.3), &[small_class()], &sw_build);
+        let heavy = serve(&at_load(50.0), &[small_class()], &sw_build);
+        assert!(heavy.dropped > 0, "50x capacity must overwhelm 16 DPUs");
+        assert!(heavy.drop_frac() > 0.1);
+        assert!(heavy.p99_ms() > light.p99_ms());
+        assert!(heavy.peak_in_flight >= light.peak_in_flight);
+        // The queue bound holds: never more in flight than cap × fleet.
+        assert!(heavy.peak_in_flight <= (32 * 16) as u64);
+    }
+
+    #[test]
+    fn achieved_tracks_offered_under_light_load() {
+        let r = serve(&at_load(0.3), &[small_class()], &sw_build);
+        assert!(
+            (r.achieved_rps - r.offered_rps).abs() < r.offered_rps * 0.2,
+            "offered {} vs achieved {}",
+            r.offered_rps,
+            r.achieved_rps
+        );
+    }
+
+    #[test]
+    fn timeline_is_bounded_and_ordered() {
+        let cfg = ServeConfig {
+            timeline_points: 32,
+            ..at_load(0.8)
+        };
+        let r = serve(&cfg, &[small_class()], &sw_build);
+        assert!(r.queue_depth.len() <= 32);
+        assert!(!r.queue_depth.is_empty());
+        assert!(r
+            .queue_depth
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[1].0 <= r.makespan_secs));
+    }
+
+    #[test]
+    fn seed_changes_the_stream() {
+        let cfg = at_load(0.5);
+        let other = ServeConfig {
+            ctx: cfg.ctx.with_seed(99),
+            ..cfg
+        };
+        let classes = [small_class()];
+        let a = serve(&cfg, &classes, &sw_build);
+        let b = serve(&other, &classes, &sw_build);
+        assert_ne!(a.latency, b.latency, "different seeds, different tails");
+    }
+}

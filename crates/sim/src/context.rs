@@ -1,0 +1,211 @@
+//! The shared execution context: one bundle of the four knobs every
+//! multi-DPU engine in the workspace needs — transfer pricing, host
+//! batching policy, sweep execution policy, and the workload seed.
+//!
+//! Before [`SimContext`], `ServingConfig`, `GraphUpdateConfig`,
+//! `DseConfig`, and `FleetConfig` each carried their own copy of the
+//! `transfer`/`batching`/`exec`/`seed` field cluster; every new engine
+//! (the serving frontend being the fifth) would have grown another.
+//! Embedding one `ctx: SimContext` instead keeps the knobs, their
+//! defaults, and their sweep conventions in a single place.
+//!
+//! ```
+//! use pim_sim::{ExecPolicy, HostBatching, SimContext};
+//!
+//! let ctx = SimContext::builder()
+//!     .batching(HostBatching::PerDpu)
+//!     .exec(ExecPolicy::Serial)
+//!     .seed(7)
+//!     .build();
+//! assert_eq!(ctx.batching, HostBatching::PerDpu);
+//! assert_eq!(ctx.seed, 7);
+//! // Figure sweeps pin the oblivious policy so placement effects stay
+//! // out of comparative rows:
+//! assert_eq!(SimContext::sweep_default().exec, ExecPolicy::Oblivious);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::exec::ExecPolicy;
+use crate::host::TransferModel;
+use crate::xfer::{HostBatching, ShardedXfer};
+
+/// The execution context shared by every multi-DPU engine: how
+/// host↔PIM traffic is priced ([`TransferModel`]) and scheduled
+/// ([`HostBatching`]), how sweep indices are placed ([`ExecPolicy`]),
+/// and which seed drives the workload's stochastic choices.
+///
+/// All four fields are plain data (`Copy`), so configs embed the
+/// context by value and struct-update syntax keeps working:
+/// `GraphUpdateConfig { ctx: SimContext { seed: 7, ..Default::default() }, .. }`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimContext {
+    /// Bandwidth/latency model of the host↔PIM data path.
+    pub transfer: TransferModel,
+    /// How the host schedules a transfer plan's per-DPU buffers.
+    pub batching: HostBatching,
+    /// How the executor places and schedules sweep indices.
+    pub exec: ExecPolicy,
+    /// Seed for the workload's stochastic generators.
+    pub seed: u64,
+}
+
+impl Default for SimContext {
+    /// Production defaults: the default transfer model, rank-sharded
+    /// batching, the sticky work-stealing executor, and seed 42.
+    fn default() -> Self {
+        SimContext {
+            transfer: TransferModel::default(),
+            batching: HostBatching::default(),
+            exec: ExecPolicy::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl SimContext {
+    /// A fluent [`SimContextBuilder`] starting from the defaults.
+    pub fn builder() -> SimContextBuilder {
+        SimContextBuilder::default()
+    }
+
+    /// The context figure sweeps use: defaults with
+    /// [`ExecPolicy::Oblivious`], so comparative rows never mix
+    /// placement effects into what they are sweeping.
+    pub fn sweep_default() -> Self {
+        SimContext {
+            exec: ExecPolicy::Oblivious,
+            ..SimContext::default()
+        }
+    }
+
+    /// This context with a different seed (sweep ergonomics).
+    pub fn with_seed(self, seed: u64) -> Self {
+        SimContext { seed, ..self }
+    }
+
+    /// This context with a different batching policy.
+    pub fn with_batching(self, batching: HostBatching) -> Self {
+        SimContext { batching, ..self }
+    }
+
+    /// This context with a different execution policy.
+    pub fn with_exec(self, exec: ExecPolicy) -> Self {
+        SimContext { exec, ..self }
+    }
+
+    /// A transfer planner over this context's model and batching
+    /// policy — the `ShardedXfer::new(cfg.transfer, cfg.batching)`
+    /// call every engine used to spell out.
+    pub fn planner(&self) -> ShardedXfer {
+        ShardedXfer::new(self.transfer, self.batching)
+    }
+}
+
+/// Builder for [`SimContext`]: `Default` start point plus fluent
+/// setters, for call sites that configure more than one knob.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimContextBuilder {
+    ctx: SimContext,
+}
+
+impl SimContextBuilder {
+    /// Sets the host↔PIM transfer model.
+    pub fn transfer(mut self, transfer: TransferModel) -> Self {
+        self.ctx.transfer = transfer;
+        self
+    }
+
+    /// Sets the host batching policy.
+    pub fn batching(mut self, batching: HostBatching) -> Self {
+        self.ctx.batching = batching;
+        self
+    }
+
+    /// Sets the sweep execution policy.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.ctx.exec = exec;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.ctx.seed = seed;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SimContext {
+        self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_component_defaults() {
+        let ctx = SimContext::default();
+        assert_eq!(ctx.transfer, TransferModel::default());
+        assert_eq!(ctx.batching, HostBatching::Sharded);
+        assert_eq!(ctx.exec, ExecPolicy::default());
+        assert_eq!(ctx.seed, 42);
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let ctx = SimContext::builder()
+            .transfer(TransferModel {
+                base_us_per_call: 1.0,
+                ..TransferModel::default()
+            })
+            .batching(HostBatching::PerDpu)
+            .exec(ExecPolicy::Serial)
+            .seed(99)
+            .build();
+        assert_eq!(ctx.transfer.base_us_per_call, 1.0);
+        assert_eq!(ctx.batching, HostBatching::PerDpu);
+        assert_eq!(ctx.exec, ExecPolicy::Serial);
+        assert_eq!(ctx.seed, 99);
+    }
+
+    #[test]
+    fn sweep_default_is_oblivious_only() {
+        let sweep = SimContext::sweep_default();
+        assert_eq!(sweep.exec, ExecPolicy::Oblivious);
+        assert_eq!(
+            SimContext {
+                exec: ExecPolicy::default(),
+                ..sweep
+            },
+            SimContext::default()
+        );
+    }
+
+    #[test]
+    fn with_helpers_change_one_field() {
+        let base = SimContext::default();
+        assert_eq!(base.with_seed(5).seed, 5);
+        assert_eq!(
+            base.with_batching(HostBatching::PerDpu).batching,
+            HostBatching::PerDpu
+        );
+        assert_eq!(base.with_exec(ExecPolicy::Sticky).exec, ExecPolicy::Sticky);
+        assert_eq!(base.with_seed(5).transfer, base.transfer);
+    }
+
+    #[test]
+    fn planner_uses_context_policy() {
+        let ctx = SimContext::default().with_batching(HostBatching::PerDpu);
+        assert_eq!(ctx.planner().policy(), HostBatching::PerDpu);
+        assert_eq!(ctx.planner().model(), ctx.transfer);
+    }
+
+    #[test]
+    fn context_is_plain_copyable_data() {
+        let ctx = SimContext::default();
+        let copy = ctx; // Copy, not move
+        assert_eq!(ctx, copy);
+    }
+}

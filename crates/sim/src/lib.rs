@@ -47,6 +47,7 @@
 
 pub mod buddy_cache;
 pub mod cam_overhead;
+pub mod context;
 pub mod cost;
 pub mod dpu;
 pub mod exec;
@@ -63,6 +64,7 @@ pub mod xfer;
 
 pub use buddy_cache::{BuddyCache, BuddyCacheConfig, BuddyCacheStats, Eviction, LookupResult};
 pub use cam_overhead::{CamOverhead, CamOverheadModel};
+pub use context::{SimContext, SimContextBuilder};
 pub use cost::{CostModel, Cycles};
 pub use dpu::{DpuConfig, DpuSim, MutexId, TaskletCtx};
 pub use exec::{
@@ -72,8 +74,8 @@ pub use host::{HostConfig, HostSim, TransferDirection, TransferModel};
 pub use iram::Iram;
 pub use mram::Mram;
 pub use runtime::DpuSet;
-pub use sched::VirtualTimeQueue;
-pub use stats::{DramTraffic, LatencyRecorder, TaskletStats};
+pub use sched::{EventQueue, VirtualTimeQueue};
+pub use stats::{DramTraffic, LatencyRecorder, LatencySummary, TaskletStats};
 pub use system::PimSystem;
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};
 pub use wram::Wram;

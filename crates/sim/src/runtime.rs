@@ -18,6 +18,7 @@
 //! assert!(set.elapsed_secs() > 0.0);
 //! ```
 
+use crate::context::SimContext;
 use crate::cost::Cycles;
 use crate::dpu::{DpuConfig, DpuSim};
 use crate::host::{HostConfig, HostSim, TransferDirection, TransferModel};
@@ -60,8 +61,28 @@ impl DpuSet {
 
     /// Sets the transfer scheduling policy for subsequent pushes and
     /// pulls.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `DpuSet::with_ctx(&SimContext)` — one context carries \
+                the batching policy and the transfer model together"
+    )]
     pub fn with_batching(mut self, batching: HostBatching) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Adopts a [`SimContext`]'s transfer model and batching policy for
+    /// subsequent pushes and pulls.
+    ///
+    /// ```
+    /// use pim_sim::{DpuConfig, DpuSet, HostBatching, SimContext};
+    /// let ctx = SimContext::default().with_batching(HostBatching::PerDpu);
+    /// let set = DpuSet::allocate(4, DpuConfig::default()).with_ctx(&ctx);
+    /// assert_eq!(set.batching(), HostBatching::PerDpu);
+    /// ```
+    pub fn with_ctx(mut self, ctx: &SimContext) -> Self {
+        self.batching = ctx.batching;
+        self.host = HostSim::new(HostConfig::default(), ctx.transfer);
         self
     }
 
@@ -193,8 +214,8 @@ mod tests {
     fn per_dpu_scheduling_pays_more_call_overhead() {
         let mut sharded = DpuSet::allocate(256, DpuConfig::default());
         sharded.push(8, |_, _| {});
-        let mut naive =
-            DpuSet::allocate(256, DpuConfig::default()).with_batching(HostBatching::PerDpu);
+        let ctx = SimContext::default().with_batching(HostBatching::PerDpu);
+        let mut naive = DpuSet::allocate(256, DpuConfig::default()).with_ctx(&ctx);
         naive.push(8, |_, _| {});
         assert!(
             naive.elapsed_secs() > 10.0 * sharded.elapsed_secs(),
@@ -203,6 +224,15 @@ mod tests {
             sharded.elapsed_secs()
         );
         assert_eq!(sharded.batching(), HostBatching::Sharded);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_batching_matches_with_ctx() {
+        let old = DpuSet::allocate(1, DpuConfig::default()).with_batching(HostBatching::PerDpu);
+        let ctx = SimContext::default().with_batching(HostBatching::PerDpu);
+        let new = DpuSet::allocate(1, DpuConfig::default()).with_ctx(&ctx);
+        assert_eq!(old.batching(), new.batching());
     }
 
     #[test]

@@ -66,6 +66,105 @@ impl VirtualTimeQueue {
     }
 }
 
+/// A deterministic discrete-event queue over an arbitrary virtual
+/// timeline: events pop in ascending time order, ties breaking on
+/// insertion order (FIFO), so two runs that push the same events pop
+/// them in the same order regardless of heap internals.
+///
+/// [`VirtualTimeQueue`] schedules *tasklets by their clocks*; this
+/// queue schedules *arbitrary payloads at explicit times* — arrivals,
+/// dispatches, and completions in the serving frontend's event loop.
+///
+/// ```
+/// use pim_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(20, "late");
+/// q.push(10, "early");
+/// q.push(10, "early-tie");
+/// assert_eq!(q.pop(), Some((10, "early")));
+/// assert_eq!(q.pop(), Some((10, "early-tie")));
+/// assert_eq!(q.pop(), Some((20, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Event<T> {
+    at: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    /// Max-heap order inverted: the smallest `(at, seq)` is the
+    /// greatest element, so `BinaryHeap::pop` yields earliest-first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at virtual time `at`.
+    pub fn push(&mut self, at: u64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event as `(time, payload)`;
+    /// equal times pop in insertion order.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// The earliest scheduled time, if any event is pending.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +212,36 @@ mod tests {
         let dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
         let mut q = VirtualTimeQueue::new(&dpu, std::iter::empty());
         assert!(q.pop(&dpu).is_none());
+    }
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(30, 'c');
+        q.push(10, 'a');
+        q.push(20, 'b');
+        q.push(10, 'd'); // same time as 'a', inserted later
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop(), Some((10, 'd')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.pop(), Some((30, 'c')));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn event_queue_interleaves_pushes_and_pops_deterministically() {
+        let mut q = EventQueue::default();
+        q.push(5, 0);
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some((1, 1)));
+        q.push(3, 2);
+        q.push(3, 3);
+        assert_eq!(q.pop(), Some((3, 2)));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((5, 0)));
     }
 }

@@ -178,6 +178,59 @@ impl LatencyRecorder {
     pub fn extend_from(&mut self, other: &LatencyRecorder) {
         self.samples.extend_from_slice(&other.samples);
     }
+
+    /// The SLO percentile summary (p50/p95/p99/p99.9 plus mean, max,
+    /// and count) over the recorded samples, sorting once instead of
+    /// once per percentile query.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let sum: u128 = sorted.iter().map(|c| u128::from(c.0)).sum();
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean: Cycles((sum / sorted.len() as u128) as u64),
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            p999: at(0.999),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The SLO tail-latency summary of one [`LatencyRecorder`]: the
+/// nearest-rank percentiles serving reports are built from. All fields
+/// are zero when the recorder was empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Cycles,
+    /// Median (nearest-rank p50).
+    pub p50: Cycles,
+    /// 95th percentile.
+    pub p95: Cycles,
+    /// 99th percentile.
+    pub p99: Cycles,
+    /// 99.9th percentile — the SLO tail serving gates on.
+    pub p999: Cycles,
+    /// Largest sample.
+    pub max: Cycles,
+}
+
+impl LatencySummary {
+    /// True when no samples were summarized.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
 }
 
 #[cfg(test)]

@@ -163,4 +163,58 @@ proptest! {
         prop_assert_eq!(shards, n_dpus.div_ceil(dpus_per_rank));
         prop_assert!(shards <= plan.buffer_count());
     }
+
+    /// SLO percentile ordering: for any sample set,
+    /// p50 ≤ p95 ≤ p99 ≤ p99.9 ≤ max, the mean sits within [min, max],
+    /// and the summary agrees with the recorder's own percentile
+    /// queries.
+    #[test]
+    fn latency_summary_percentiles_are_ordered(
+        samples in proptest::collection::vec(0u64..u64::MAX / 2, 1..512),
+    ) {
+        let mut r = pim_sim::LatencyRecorder::new();
+        for &s in &samples {
+            r.record(Cycles(s));
+        }
+        let s = r.summary();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert!(s.p50 <= s.p95);
+        prop_assert!(s.p95 <= s.p99);
+        prop_assert!(s.p99 <= s.p999);
+        prop_assert!(s.p999 <= s.max);
+        prop_assert_eq!(s.max, Cycles(*samples.iter().max().unwrap()));
+        let min = Cycles(*samples.iter().min().unwrap());
+        prop_assert!(s.mean >= min && s.mean <= s.max);
+        prop_assert_eq!(s.p50, r.percentile(0.50));
+        prop_assert_eq!(s.p95, r.percentile(0.95));
+        prop_assert_eq!(s.p99, r.percentile(0.99));
+        prop_assert_eq!(s.p999, r.percentile(0.999));
+    }
+}
+
+/// Exact nearest-rank values over a hand-computed 10-sample set.
+///
+/// Sorted samples: 5, 10, 20, 30, 40, 50, 60, 70, 80, 1000.
+/// Nearest rank = ⌈q·10⌉ clamped to [1, 10]:
+/// p50 → rank 5 → 40; p95 → rank ⌈9.5⌉ = 10 → 1000;
+/// p99 → rank ⌈9.9⌉ = 10 → 1000; p99.9 → rank 10 → 1000;
+/// mean = 1365/10 = 136 (integer division).
+#[test]
+fn latency_summary_exact_ten_sample_values() {
+    let mut r = pim_sim::LatencyRecorder::new();
+    for v in [50u64, 10, 1000, 30, 5, 70, 20, 60, 40, 80] {
+        r.record(Cycles(v));
+    }
+    let s = r.summary();
+    assert_eq!(s.count, 10);
+    assert_eq!(s.p50, Cycles(40));
+    assert_eq!(s.p95, Cycles(1000));
+    assert_eq!(s.p99, Cycles(1000));
+    assert_eq!(s.p999, Cycles(1000));
+    assert_eq!(s.max, Cycles(1000));
+    assert_eq!(s.mean, Cycles(136));
+    // A tighter mid-distribution check: p90 hits rank 9 → 80.
+    assert_eq!(r.percentile(0.90), Cycles(80));
+    assert!(!s.is_empty());
+    assert!(pim_sim::LatencyRecorder::new().summary().is_empty());
 }

@@ -12,8 +12,8 @@
 
 use pim_malloc::{AllocError, PimAllocator};
 use pim_sim::{
-    Cycles, DpuConfig, DpuSim, EpochReport, ExecPolicy, Executor, HostBatching, LatencyRecorder,
-    ShardedXfer, TransferDirection, TransferModel, TransferPlan, VirtualTimeQueue, XferEstimate,
+    Cycles, DpuConfig, DpuSim, EpochReport, Executor, LatencyRecorder, SimContext,
+    TransferDirection, TransferPlan, VirtualTimeQueue, XferEstimate,
 };
 
 use crate::format::{AllocTrace, TraceOp};
@@ -197,30 +197,27 @@ pub fn replay_streams(
     result
 }
 
-/// Multi-DPU replay configuration: fleet size, how the host distributes
-/// the trace, and how DPU simulations are placed on the host.
+/// Multi-DPU replay configuration: fleet size plus the shared
+/// execution context (how the host distributes the trace and how DPU
+/// simulations are placed on the host).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetConfig {
     /// DPUs replaying the trace (each runs the whole trace, SPMD).
     pub n_dpus: usize,
-    /// How the host schedules the trace-distribution push.
-    pub batching: HostBatching,
-    /// Host↔PIM transfer model for the distribution push (also prices
-    /// the executor's cross-node placement penalty).
-    pub transfer: TransferModel,
-    /// How DPU simulations are fanned over the topology-aware executor
-    /// ([`ExecPolicy::Serial`] runs them inline) — simulated results
-    /// are identical under every policy and worker count.
-    pub exec: ExecPolicy,
+    /// Shared execution context: `ctx.batching` schedules the
+    /// trace-distribution push, `ctx.transfer` prices it (and the
+    /// executor's cross-node placement penalty), and `ctx.exec` fans
+    /// DPU simulations over the topology-aware executor
+    /// ([`pim_sim::ExecPolicy::Serial`] runs them inline) — simulated
+    /// results are identical under every policy and worker count.
+    pub ctx: SimContext,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             n_dpus: 16,
-            batching: HostBatching::Sharded,
-            transfer: TransferModel::default(),
-            exec: ExecPolicy::default(),
+            ctx: SimContext::default(),
         }
     }
 }
@@ -242,8 +239,8 @@ pub struct FleetResult {
     /// results stay byte-identical regardless.
     pub placement: EpochReport,
     /// Modeled host seconds of NUMA placement cost for this epoch
-    /// ([`EpochReport::placement_penalty_secs`] under
-    /// [`FleetConfig::transfer`]). Reported separately from
+    /// ([`EpochReport::placement_penalty_secs`] under the fleet
+    /// context's transfer model). Reported separately from
     /// [`FleetResult::distribution`]; not folded into per-DPU results.
     pub placement_penalty_secs: f64,
 }
@@ -273,9 +270,9 @@ impl FleetResult {
 
 /// Replays `trace` on `cfg.n_dpus` share-nothing DPUs, each with an
 /// allocator built by `build`, and prices the host's trace
-/// distribution under `cfg.batching`.
+/// distribution under `cfg.ctx.batching`.
 ///
-/// Deterministic regardless of `cfg.exec` and the worker count: every
+/// Deterministic regardless of `cfg.ctx.exec` and the worker count: every
 /// DPU's simulation is independent and results merge in DPU-index
 /// order on the topology-aware executor.
 ///
@@ -290,20 +287,20 @@ where
     trace.validate().expect("fleet replays validated traces");
     assert!(cfg.n_dpus > 0, "fleet needs at least one DPU");
     let plan = TransferPlan::uniform(TransferDirection::HostToPim, cfg.n_dpus, trace.wire_bytes());
-    let distribution = ShardedXfer::new(cfg.transfer, cfg.batching).estimate(&plan);
+    let distribution = cfg.ctx.planner().estimate(&plan);
     let run_one = |_idx: usize| -> ReplayResult {
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(trace.n_tasklets));
         let mut alloc = build(&mut dpu);
         replay(&mut dpu, alloc.as_mut(), trace)
     };
     let (per_dpu, placement) =
-        Executor::for_domain("trace-fleet").run_report(cfg.n_dpus, cfg.exec, run_one);
+        Executor::for_domain("trace-fleet").run_report(cfg.n_dpus, cfg.ctx.exec, run_one);
     let kernel_finish = per_dpu
         .iter()
         .map(|r| r.finish)
         .max()
         .unwrap_or(Cycles::ZERO);
-    let placement_penalty_secs = placement.placement_penalty_secs(&cfg.transfer);
+    let placement_penalty_secs = placement.placement_penalty_secs(&cfg.ctx.transfer);
     FleetResult {
         per_dpu,
         distribution,
@@ -317,6 +314,7 @@ where
 mod tests {
     use super::*;
     use pim_malloc::{PimMalloc, PimMallocConfig};
+    use pim_sim::ExecPolicy;
 
     fn dpu(tasklets: usize) -> DpuSim {
         DpuSim::new(DpuConfig::default().with_tasklets(tasklets))
@@ -435,7 +433,7 @@ mod tests {
         let ser = replay_fleet(
             &t,
             &FleetConfig {
-                exec: ExecPolicy::Serial,
+                ctx: SimContext::default().with_exec(ExecPolicy::Serial),
                 ..FleetConfig::default()
             },
             build,
@@ -448,7 +446,7 @@ mod tests {
             let par = replay_fleet(
                 &t,
                 &FleetConfig {
-                    exec,
+                    ctx: SimContext::default().with_exec(exec),
                     ..FleetConfig::default()
                 },
                 build,

@@ -92,7 +92,10 @@ proptest! {
         let trace = synthesize(&cfg);
         let fleet = |exec: pim_sim::ExecPolicy| replay_fleet(
             &trace,
-            &FleetConfig { n_dpus: 5, exec, ..FleetConfig::default() },
+            &FleetConfig {
+                n_dpus: 5,
+                ctx: pim_sim::SimContext::default().with_exec(exec),
+            },
             sw_build,
         );
         let par = fleet(pim_sim::ExecPolicy::StickySteal);

@@ -11,8 +11,7 @@
 
 use pim_malloc::{MetadataStore, PimAllocator};
 use pim_sim::{
-    Cycles, DpuConfig, DpuSim, ExecPolicy, Executor, HostBatching, ShardedXfer, TaskletStats,
-    TransferDirection, TransferModel, TransferPlan,
+    Cycles, DpuConfig, DpuSim, Executor, SimContext, TaskletStats, TransferDirection, TransferPlan,
 };
 use serde::{Deserialize, Serialize};
 
@@ -64,18 +63,14 @@ pub struct GraphUpdateConfig {
     pub new_edges: usize,
     /// Per-DPU heap size for the dynamic representations.
     pub heap_size: u32,
-    /// Workload RNG seed.
-    pub seed: u64,
-    /// Host↔PIM transfer model for staging the new-edge streams.
-    pub transfer: TransferModel,
-    /// How the edge-staging push is scheduled: per-DPU calls or
-    /// per-rank shards.
-    pub batching: HostBatching,
-    /// How per-DPU simulations are placed on the host's topology-aware
-    /// executor. Simulated results are identical under every policy;
-    /// the sticky policies keep each DPU's state on the NUMA node that
-    /// last simulated it across repeated updates.
-    pub exec: ExecPolicy,
+    /// Shared execution context: `ctx.seed` drives the workload RNG,
+    /// `ctx.transfer`/`ctx.batching` price and schedule the
+    /// edge-staging push, and `ctx.exec` places per-DPU simulations on
+    /// the host's topology-aware executor. Simulated results are
+    /// identical under every policy; the sticky policies keep each
+    /// DPU's state on the NUMA node that last simulated it across
+    /// repeated updates.
+    pub ctx: SimContext,
 }
 
 impl Default for GraphUpdateConfig {
@@ -91,10 +86,7 @@ impl Default for GraphUpdateConfig {
             base_edges: 26_000,
             new_edges: 13_000,
             heap_size: 32 << 20,
-            seed: 42,
-            transfer: TransferModel::default(),
-            batching: HostBatching::Sharded,
-            exec: ExecPolicy::default(),
+            ctx: SimContext::default(),
         }
     }
 }
@@ -142,11 +134,11 @@ pub struct GraphUpdateResult {
     /// batch while the DPUs process the current one.
     pub host_push_secs: f64,
     /// Host↔PIM transfer calls the staging push issued (per-DPU calls
-    /// or per-rank shards, per [`GraphUpdateConfig::batching`]).
+    /// or per-rank shards, per the config context's batching policy).
     pub host_xfer_calls: u64,
     /// Modeled host seconds of NUMA placement cost for this run's DPU
     /// fan-out (cold starts and cross-node moves priced by
-    /// [`TransferModel::cross_node_us`]). A host-side **diagnostic**:
+    /// [`pim_sim::TransferModel::cross_node_us`]). A host-side **diagnostic**:
     /// it reflects the graph engine's executor ledger history, and
     /// concurrent graph updates in one process (e.g. a figure sweep)
     /// interleave epochs on that shared ledger — the simulated update
@@ -166,8 +158,8 @@ fn place(u: u32, n_dpus: usize, n_tasklets: usize) -> (usize, usize, u32) {
 
 fn workload(cfg: &GraphUpdateConfig) -> UpdateWorkload {
     let total = cfg.base_edges + cfg.new_edges;
-    let g = generate_power_law(cfg.n_nodes, total, cfg.seed);
-    split_for_update_count(g, cfg.new_edges, cfg.seed ^ 0x5eed)
+    let g = generate_power_law(cfg.n_nodes, total, cfg.ctx.seed);
+    split_for_update_count(g, cfg.new_edges, cfg.ctx.seed ^ 0x5eed)
 }
 
 /// Per-DPU edge streams for one phase: `streams[tasklet] = [(local_u, v)]`.
@@ -307,7 +299,7 @@ fn run_graph_update_impl(
         for (dpu, &edges) in edges_per_dpu.iter().enumerate() {
             plan.push(dpu, edges * 8);
         }
-        ShardedXfer::new(cfg.transfer, cfg.batching).estimate(&plan)
+        cfg.ctx.planner().estimate(&plan)
     };
 
     #[derive(Debug)]
@@ -453,7 +445,7 @@ fn run_graph_update_impl(
     // *this* engine's DPU indices, not unrelated sweeps) and reduce in
     // DPU-index order for determinism.
     let (mut outcomes, placement): (Vec<DpuOutcome>, _) =
-        Executor::for_domain("graph-update").run_report(cfg.n_dpus, cfg.exec, run_one_dpu);
+        Executor::for_domain("graph-update").run_report(cfg.n_dpus, cfg.ctx.exec, run_one_dpu);
     let trace = outcomes[0].trace.take();
 
     let mut slowest = Cycles::ZERO;
@@ -521,7 +513,7 @@ fn run_graph_update_impl(
         },
         host_push_secs: staging.secs,
         host_xfer_calls: staging.calls,
-        host_placement_secs: placement.placement_penalty_secs(&cfg.transfer),
+        host_placement_secs: placement.placement_penalty_secs(&cfg.ctx.transfer),
     };
     (result, trace)
 }
@@ -555,8 +547,7 @@ mod tests {
             base_edges: 6400,
             new_edges: 3200,
             heap_size: 32 << 20,
-            seed: 7,
-            ..GraphUpdateConfig::default()
+            ctx: SimContext::default().with_seed(7),
         }
     }
 
@@ -630,7 +621,7 @@ mod tests {
         // moving the same bytes.
         let sharded = small(GraphRepr::LinkedList, AllocatorKind::Sw);
         let per_dpu = GraphUpdateConfig {
-            batching: HostBatching::PerDpu,
+            ctx: sharded.ctx.with_batching(pim_sim::HostBatching::PerDpu),
             ..sharded
         };
         let s = run_graph_update(&sharded);

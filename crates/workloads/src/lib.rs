@@ -17,6 +17,10 @@
 //! All workloads are generic over the allocator via
 //! [`AllocatorKind`], mirroring how the paper swaps the straw-man,
 //! PIM-malloc-SW and PIM-malloc-HW/SW under identical drivers.
+//!
+//! [`requests`] additionally packages each family's allocation shape
+//! as a `pim_serving` request class, so the open-loop serving frontend
+//! can drive the fleet with a micro/graph/LLM mix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +30,6 @@ pub mod driver;
 pub mod graph;
 pub mod llm;
 pub mod micro;
+pub mod requests;
 
 pub use alloc_kind::AllocatorKind;

@@ -12,17 +12,15 @@
 //! new token's K/V vectors, which must land in every DPU's KV shard
 //! before the next attention launch. That traffic is described as a
 //! [`TransferPlan`] (one buffer per DPU, `batch ×` the per-token
-//! per-DPU KV bytes) and scheduled under [`ServingConfig::batching`];
+//! per-DPU KV bytes) and scheduled under the config context's
+//! batching policy;
 //! the push double-buffers behind the next step's FC compute, so only
 //! the part that *exceeds* the FC time stalls the decode loop. With
 //! rank-sharded batching the push hides almost entirely at realistic
 //! batch sizes; a per-DPU call schedule pays 512 fixed overheads per
 //! step and stalls every token.
 
-use pim_sim::{
-    ExecPolicy, HostBatching, LatencyRecorder, ShardedXfer, TransferDirection, TransferModel,
-    TransferPlan,
-};
+use pim_sim::{LatencyRecorder, SimContext, TransferDirection, TransferPlan};
 use serde::{Deserialize, Serialize};
 
 use super::config::LlmConfig;
@@ -45,16 +43,14 @@ pub struct ServingConfig {
     pub mram_bw_bytes_per_s: f64,
     /// Host-side prefill time per admitted request, seconds.
     pub prefill_secs: f64,
-    /// Host↔PIM transfer model for the per-step KV push.
-    pub transfer: TransferModel,
-    /// How the per-step KV push is scheduled: per-DPU calls or
-    /// per-rank shards.
-    pub batching: HostBatching,
-    /// How [`run_serving_many`] places its per-scheme simulations on
-    /// the host executor. Scheme indices carry no cross-epoch locality,
-    /// so the default is [`ExecPolicy::Oblivious`]; results are
-    /// identical under every policy.
-    pub exec: ExecPolicy,
+    /// Shared execution context: `ctx.transfer`/`ctx.batching` price
+    /// and schedule the per-step KV push, and `ctx.exec` places
+    /// [`run_serving_many`]'s per-scheme simulations on the host
+    /// executor. Scheme indices carry no cross-epoch locality, so the
+    /// default is [`SimContext::sweep_default`]
+    /// ([`pim_sim::ExecPolicy::Oblivious`]); results are identical
+    /// under every policy.
+    pub ctx: SimContext,
 }
 
 impl Default for ServingConfig {
@@ -65,9 +61,7 @@ impl Default for ServingConfig {
             launch_secs: 0.0005,
             mram_bw_bytes_per_s: 0.65e9,
             prefill_secs: 0.015,
-            transfer: TransferModel::default(),
-            batching: HostBatching::Sharded,
-            exec: ExecPolicy::Oblivious,
+            ctx: SimContext::sweep_default(),
         }
     }
 }
@@ -133,7 +127,7 @@ pub fn run_serving_many(
     cfg: &ServingConfig,
     trace: &[RequestSpec],
 ) -> Vec<ServingResult> {
-    pim_sim::parallel_indexed_with(schemes.len(), cfg.exec, |i| {
+    pim_sim::parallel_indexed_with(schemes.len(), cfg.ctx.exec, |i| {
         run_serving(schemes[i], cfg, trace)
     })
 }
@@ -143,7 +137,7 @@ pub fn run_serving(scheme: KvScheme, cfg: &ServingConfig, trace: &[RequestSpec])
     let alloc_block_secs = alloc_secs_per_block(scheme, &cfg.llm);
     let heap = u64::from(cfg.llm.heap_bytes);
     let per_req_static = cfg.llm.static_bytes_per_request();
-    let planner = ShardedXfer::new(cfg.transfer, cfg.batching);
+    let planner = cfg.ctx.planner();
 
     #[derive(Debug, Clone, Copy)]
     struct Active {
@@ -401,7 +395,7 @@ mod tests {
         // behind the 20 ms FC step, TPOT and throughput suffer.
         let sharded = quick_cfg();
         let per_dpu = ServingConfig {
-            batching: HostBatching::PerDpu,
+            ctx: sharded.ctx.with_batching(pim_sim::HostBatching::PerDpu),
             ..sharded
         };
         let trace = fixed_trace(100, 10.0);

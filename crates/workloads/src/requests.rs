@@ -1,0 +1,118 @@
+//! Serving request classes derived from the evaluation workloads.
+//!
+//! Each generator packages one workload family's allocation shape as a
+//! [`RequestClass`] for the open-loop frontend in `pim_serving`: a
+//! small [`pim_trace::AllocTrace`] fragment (synthesized with the same
+//! seeded generator the trace subsystem uses) plus the payload bytes
+//! one request of that family ships host→PIM. Fragments are fixed-seed
+//! so per-class calibration is stable; the *stream* randomness
+//! (arrival times, class mixing) comes from the serving config's
+//! [`pim_sim::SimContext::seed`].
+
+use pim_serving::RequestClass;
+use pim_trace::{synthesize, SizeLaw, SynthConfig, TemporalShape};
+
+/// Fixed fragment seeds, one per family, so calibration never moves
+/// under an unrelated seed change.
+const MICRO_FRAGMENT_SEED: u64 = 0x5E21_0001;
+const GRAPH_FRAGMENT_SEED: u64 = 0x5E21_0002;
+const LLM_FRAGMENT_SEED: u64 = 0x5E21_0003;
+
+/// Microbenchmark-shaped request: fixed 64 B allocations at a steady
+/// pace (the Figure 15 shape), small payload.
+pub fn micro_request() -> RequestClass {
+    let trace = synthesize(&SynthConfig {
+        n_tasklets: 8,
+        mallocs_per_tasklet: 16,
+        size_law: SizeLaw::Fixed(64),
+        shape: TemporalShape::Steady { compute: 200 },
+        heap_size: 1 << 20,
+        seed: MICRO_FRAGMENT_SEED,
+        ..SynthConfig::default()
+    });
+    RequestClass::new("micro", trace, 1 << 10, 1.0)
+}
+
+/// Graph-update-shaped request: zipf-sized allocations arriving in
+/// bursts (edge insertions growing adjacency structures), shipping an
+/// edge batch as payload.
+pub fn graph_request() -> RequestClass {
+    let trace = synthesize(&SynthConfig {
+        n_tasklets: 8,
+        mallocs_per_tasklet: 16,
+        size_law: SizeLaw::Zipf {
+            min: 16,
+            max: 2048,
+            exponent: 1.1,
+        },
+        shape: TemporalShape::Bursty {
+            burst: 8,
+            gap: 10_000,
+        },
+        heap_size: 1 << 20,
+        seed: GRAPH_FRAGMENT_SEED,
+        ..SynthConfig::default()
+    });
+    RequestClass::new("graph", trace, 16 << 10, 1.0)
+}
+
+/// LLM-decode-shaped request: fixed 512 B KV-cache blocks at a steady
+/// token cadence, shipping activations as payload.
+pub fn llm_request() -> RequestClass {
+    let trace = synthesize(&SynthConfig {
+        n_tasklets: 8,
+        mallocs_per_tasklet: 16,
+        size_law: SizeLaw::Fixed(512),
+        shape: TemporalShape::Steady { compute: 400 },
+        heap_size: 2 << 20,
+        seed: LLM_FRAGMENT_SEED,
+        ..SynthConfig::default()
+    });
+    RequestClass::new("llm", trace, 8 << 10, 1.0)
+}
+
+/// The three-family evaluation mix, equally weighted.
+pub fn standard_mix() -> Vec<RequestClass> {
+    vec![micro_request(), graph_request(), llm_request()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use pim_malloc::PimAllocator;
+    use pim_sim::DpuSim;
+
+    fn sw_build(dpu: &mut DpuSim, tasklets: usize, heap: u32) -> Box<dyn PimAllocator> {
+        AllocatorKind::Sw.build(dpu, tasklets, heap)
+    }
+
+    #[test]
+    fn classes_are_stable_and_calibratable() {
+        for class in standard_mix() {
+            assert_eq!(
+                class.trace,
+                standard_mix()
+                    .into_iter()
+                    .find(|c| c.name == class.name)
+                    .unwrap()
+                    .trace,
+                "{} fragment must be fixed-seed stable",
+                class.name
+            );
+            let ns = class.service_ns(&sw_build);
+            assert!(ns > 0, "{}", class.name);
+            assert!(class.payload_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn families_differ_in_shape() {
+        let names: Vec<String> = standard_mix().into_iter().map(|c| c.name).collect();
+        assert_eq!(names, ["micro", "graph", "llm"]);
+        // The graph fragment's zipf/bursty shape is a different trace
+        // from the fixed/steady micro fragment.
+        assert_ne!(micro_request().trace, graph_request().trace);
+        assert_ne!(graph_request().trace, llm_request().trace);
+    }
+}

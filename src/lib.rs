@@ -1,1 +1,19 @@
 //! Workspace-level integration-test and example host for the PIM-malloc reproduction.
+//!
+//! The facade re-exports the workspace's primary entry points so
+//! downstream consumers can depend on one crate:
+//!
+//! * [`SimContext`] — the unified execution context (transfer model,
+//!   host batching, executor policy, seed) every simulation config
+//!   embeds; [`SimContextBuilder`] for fluent construction.
+//! * The serving frontend: [`serve`] / [`saturation_sweep`] with
+//!   [`ServeConfig`], [`ArrivalProcess`], [`RequestClass`] and their
+//!   reports.
+//! * The execution knobs those APIs take: [`ExecPolicy`] and
+//!   [`HostBatching`].
+
+pub use pim_serving::{
+    estimated_capacity_rps, saturation_sweep, serve, ArrivalProcess, LoadPoint, RequestClass,
+    SaturationReport, ServeConfig, ServeReport,
+};
+pub use pim_sim::{ExecPolicy, HostBatching, SimContext, SimContextBuilder};

@@ -104,7 +104,7 @@ fn graph_update_at_512_dpus_is_engine_invariant() {
         n_nodes: 4096,
         base_edges: 16_000,
         new_edges: 16_000,
-        exec,
+        ctx: pim_sim::SimContext::default().with_exec(exec),
         ..GraphUpdateConfig::default()
     };
     // Everything simulated; host_placement_secs is deliberately
@@ -171,7 +171,7 @@ fn llm_serving_at_512_dpus_is_engine_invariant() {
         .collect();
     for policy in PARALLEL_POLICIES {
         let cfg = ServingConfig {
-            exec: policy,
+            ctx: base.ctx.with_exec(policy),
             ..base
         };
         let results = run_serving_many(&schemes, &cfg, &trace);
@@ -203,8 +203,7 @@ fn trace_fleet_at_512_dpus_is_engine_invariant() {
             &trace,
             &FleetConfig {
                 n_dpus: 512,
-                exec,
-                ..FleetConfig::default()
+                ctx: pim_sim::SimContext::default().with_exec(exec),
             },
             build,
         )

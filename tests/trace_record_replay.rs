@@ -84,8 +84,7 @@ fn serial_and_parallel_replay_agree_on_recorded_trace() {
             &trace,
             &FleetConfig {
                 n_dpus: 8,
-                exec,
-                ..FleetConfig::default()
+                ctx: pim_sim::SimContext::default().with_exec(exec),
             },
             |dpu| AllocatorKind::Sw.build(dpu, trace.n_tasklets, trace.heap_size),
         )
@@ -110,7 +109,7 @@ fn graph_and_llm_traces_replay_against_every_allocator() {
         n_nodes: 1024,
         base_edges: 3200,
         new_edges: 1600,
-        seed: 7,
+        ctx: pim_sim::SimContext::default().with_seed(7),
         ..GraphUpdateConfig::default()
     };
     let (_, graph_trace) = run_graph_update_recorded(&graph_cfg);
