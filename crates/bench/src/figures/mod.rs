@@ -8,6 +8,7 @@
 //! always used, so unseeded runs stay byte-identical).
 
 mod batching_figs;
+mod chaos_figs;
 mod discussion_figs;
 mod dse_figs;
 mod graph_figs;
@@ -18,6 +19,7 @@ mod serve_figs;
 mod trace_figs;
 
 pub use batching_figs::host_batching;
+pub use chaos_figs::chaos_resilience;
 pub use discussion_figs::{discussion_cache_granularity, discussion_future_pim};
 pub use dse_figs::{fig6a, fig6b};
 pub use graph_figs::{fig11, fig17, fig3c};
@@ -40,10 +42,12 @@ const LLM_DEFAULT_SEED: u64 = 11;
 const GRAPH_DEFAULT_SEED: u64 = 42;
 /// Fixed seed of the serving frontend's request stream.
 const SERVE_DEFAULT_SEED: u64 = 0x5E21;
+/// Fixed seed of the chaos experiment's fault plan + request stream.
+const CHAOS_DEFAULT_SEED: u64 = 0xC4A05;
 
 /// Every experiment id with a one-line description, in paper order
 /// (extensions last). `repro list` prints this catalogue.
-pub const CATALOG: [(&str, &str); 19] = [
+pub const CATALOG: [(&str, &str); 20] = [
     (
         "fig3c",
         "graph-update slowdown vs pre-update graph size, static vs dynamic",
@@ -114,6 +118,10 @@ pub const CATALOG: [(&str, &str); 19] = [
         "serve",
         "open-loop serving frontend: SLO tail latencies per arrival shape, drops, saturation knee",
     ),
+    (
+        "chaos",
+        "resilience: self-healing serving under a fault plan + allocator fault injection",
+    ),
 ];
 
 /// Every experiment id, in catalogue order.
@@ -158,6 +166,7 @@ pub fn run(id: &str, quick: bool, seed: Option<u64>) -> Vec<Experiment> {
         "host-batching" => vec![host_batching(quick)],
         "trace" => vec![trace_replay(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
         "serve" => vec![serve_frontend(quick, seed.unwrap_or(SERVE_DEFAULT_SEED))],
+        "chaos" => vec![chaos_resilience(quick, seed.unwrap_or(CHAOS_DEFAULT_SEED))],
         other => {
             let ids: Vec<&str> = all_ids().collect();
             panic!("unknown experiment id `{other}`; valid ids: {ids:?}")

@@ -23,6 +23,14 @@ pub enum AllocError {
         /// The offending address.
         addr: u32,
     },
+    /// The allocator quarantined itself after observing too many
+    /// invalid frees (`PimMallocConfig::quarantine_after`): heap
+    /// metadata can no longer be trusted, so every subsequent
+    /// operation is refused instead of risking silent corruption.
+    Quarantined {
+        /// Invalid frees observed before the allocator sealed itself.
+        invalid_frees: u32,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -36,6 +44,12 @@ impl fmt::Display for AllocError {
             }
             AllocError::InvalidFree { addr } => {
                 write!(f, "invalid free of address {addr:#x}")
+            }
+            AllocError::Quarantined { invalid_frees } => {
+                write!(
+                    f,
+                    "allocator quarantined after {invalid_frees} invalid frees"
+                )
             }
         }
     }
@@ -97,6 +111,25 @@ mod tests {
         assert!(AllocError::InvalidFree { addr: 0x100 }
             .to_string()
             .contains("0x100"));
+        let q = AllocError::Quarantined { invalid_frees: 8 };
+        assert!(q.to_string().contains("quarantined"));
+        assert!(q.to_string().contains('8'));
+    }
+
+    #[test]
+    fn quarantine_propagates_through_question_mark() {
+        // The ergonomic contract: callers `?`-propagate instead of
+        // matching or unwrapping, including the quarantine variant.
+        fn free_like() -> Result<(), AllocError> {
+            Err(AllocError::Quarantined { invalid_frees: 3 })?;
+            Ok(())
+        }
+        fn boxed() -> Result<(), Box<dyn Error>> {
+            free_like()?;
+            Ok(())
+        }
+        let err = boxed().unwrap_err();
+        assert!(err.to_string().contains("quarantined"));
     }
 
     #[test]

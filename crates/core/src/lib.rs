@@ -17,6 +17,18 @@
 //!   metadata served by a per-core hardware buddy cache (a 16-entry
 //!   CAM with LRU replacement and 1-cycle access).
 //!
+//! ## Error paths and quarantine
+//!
+//! Every hostile operation — zero/oversized sizes, frees of addresses
+//! the [`RegionMap`] never issued, double frees — returns an
+//! [`AllocError`] instead of panicking or corrupting the frame table
+//! (property-tested in `tests/alloc_error_paths.rs`). A
+//! [`PimMallocConfig::with_quarantine`] budget hardens this further:
+//! past `n` invalid frees the allocator *seals itself* and refuses
+//! all subsequent operations with [`AllocError::Quarantined`], on the
+//! theory that a caller issuing garbage frees can no longer be
+//! trusted not to have corrupted its own heap view.
+//!
 //! ## Quick example
 //!
 //! ```

@@ -86,6 +86,13 @@ pub struct PimMallocConfig {
     /// Backend descent policy (ablation hook; paper default prunes
     /// full subtrees).
     pub descent: DescentPolicy,
+    /// Invalid frees tolerated before the allocator quarantines
+    /// itself: after this many rejected frees, heap metadata is
+    /// presumed corrupted and every subsequent operation returns
+    /// [`AllocError::Quarantined`] instead of risking silent damage.
+    /// `None` (the default) never quarantines — each invalid free is
+    /// rejected individually, as before.
+    pub quarantine_after: Option<u32>,
 }
 
 impl PimMallocConfig {
@@ -101,6 +108,7 @@ impl PimMallocConfig {
             backend: BackendKind::Coarse { buffer_bytes: 2048 },
             prepopulate: true,
             descent: DescentPolicy::FullMarks,
+            quarantine_after: None,
         }
     }
 
@@ -126,6 +134,13 @@ impl PimMallocConfig {
         self.heap_size = bytes;
         self
     }
+
+    /// Quarantines the allocator after `n` invalid frees (fault
+    /// hardening for hostile or corrupted callers).
+    pub fn with_quarantine(mut self, n: u32) -> Self {
+        self.quarantine_after = Some(n);
+        self
+    }
 }
 
 /// The hierarchical PIM-malloc allocator for one DPU.
@@ -139,6 +154,12 @@ pub struct PimMalloc {
     stats: AllocStats,
     frag: FragTracker,
     init_end: pim_sim::Cycles,
+    /// Invalid frees observed so far (each one was rejected).
+    invalid_frees: u32,
+    /// Invalid frees tolerated before sealing; `None` never seals.
+    quarantine_after: Option<u32>,
+    /// Once set, every operation returns [`AllocError::Quarantined`].
+    quarantined: bool,
 }
 
 impl PimMalloc {
@@ -233,6 +254,9 @@ impl PimMalloc {
                 stats: AllocStats::default(),
                 frag: FragTracker::new(),
                 init_end: pim_sim::Cycles::ZERO,
+                invalid_frees: 0,
+                quarantine_after: config.quarantine_after,
+                quarantined: false,
             }
         };
 
@@ -301,6 +325,17 @@ impl PimMalloc {
         self.region.live_allocations()
     }
 
+    /// Invalid frees observed (and rejected) so far.
+    pub fn invalid_frees(&self) -> u32 {
+        self.invalid_frees
+    }
+
+    /// True once the allocator has sealed itself after exceeding its
+    /// invalid-free budget (`PimMallocConfig::quarantine_after`).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
     fn backend_alloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
         ctx.mutex_lock(self.backend_mutex);
         let result = self.backend.alloc(ctx, size);
@@ -321,6 +356,11 @@ impl PimAllocator for PimMalloc {
     fn pim_malloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
         let start = ctx.now();
         ctx.instrs(MALLOC_ENTRY_INSTRS);
+        if self.quarantined {
+            return Err(AllocError::Quarantined {
+                invalid_frees: self.invalid_frees,
+            });
+        }
         if size == 0 {
             return Err(AllocError::InvalidSize { requested: size });
         }
@@ -368,9 +408,30 @@ impl PimAllocator for PimMalloc {
     /// Frees the allocation at `addr`.
     fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
         ctx.instrs(FREE_ENTRY_INSTRS);
+        if self.quarantined {
+            return Err(AllocError::Quarantined {
+                invalid_frees: self.invalid_frees,
+            });
+        }
         // O(1) host-side routing off the frame table; the simulated
-        // cost is the block-header read charged below.
-        let route = self.region.take_route(addr)?;
+        // cost is the block-header read charged below. A failed route
+        // is a corrupted free: reject it, count it, and seal the
+        // allocator once the quarantine budget is exhausted.
+        let route = match self.region.take_route(addr) {
+            Ok(route) => route,
+            Err(err) => {
+                self.invalid_frees = self.invalid_frees.saturating_add(1);
+                if let Some(budget) = self.quarantine_after {
+                    if self.invalid_frees > budget {
+                        self.quarantined = true;
+                        return Err(AllocError::Quarantined {
+                            invalid_frees: self.invalid_frees,
+                        });
+                    }
+                }
+                return Err(err);
+            }
+        };
         ctx.mram_read(addr, BLOCK_HEADER_BYTES);
         match route {
             FreeRoute::Cache {
@@ -542,6 +603,54 @@ mod tests {
             pm.pim_free(&mut ctx, 0x1234),
             Err(AllocError::InvalidFree { .. })
         ));
+        // Without a quarantine budget, invalid frees are counted but
+        // never seal the allocator.
+        assert_eq!(pm.invalid_frees(), 1);
+        assert!(!pm.is_quarantined());
+        let addr = pm.pim_malloc(&mut ctx, 64).unwrap();
+        pm.pim_free(&mut ctx, addr).unwrap();
+    }
+
+    #[test]
+    fn quarantine_seals_after_the_invalid_free_budget() {
+        let mut d = dpu(1);
+        let cfg = small_sw(1).with_quarantine(2);
+        let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
+        let mut ctx = d.ctx(0);
+        let live = pm.pim_malloc(&mut ctx, 64).unwrap();
+
+        // The first two corrupted frees are rejected individually.
+        for i in 0..2u32 {
+            assert!(matches!(
+                pm.pim_free(&mut ctx, 0xDEAD_0000 + i),
+                Err(AllocError::InvalidFree { .. })
+            ));
+            assert!(!pm.is_quarantined());
+        }
+        // Valid operations still work while under budget.
+        let second = pm.pim_malloc(&mut ctx, 64).unwrap();
+        pm.pim_free(&mut ctx, second).unwrap();
+
+        // The third corrupted free exceeds the budget and seals.
+        assert!(matches!(
+            pm.pim_free(&mut ctx, 0xDEAD_BEEF),
+            Err(AllocError::Quarantined { invalid_frees: 3 })
+        ));
+        assert!(pm.is_quarantined());
+        assert_eq!(pm.invalid_frees(), 3);
+
+        // Every subsequent operation — even a valid free — is refused.
+        assert!(matches!(
+            pm.pim_malloc(&mut ctx, 64),
+            Err(AllocError::Quarantined { .. })
+        ));
+        assert!(matches!(
+            pm.pim_free(&mut ctx, live),
+            Err(AllocError::Quarantined { .. })
+        ));
+        // The frame table was never corrupted by the garbage frees:
+        // the live allocation is still accounted.
+        assert_eq!(pm.live_allocations(), 1);
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //!
 //! Everything is seeded and single-threaded per run: reports are
 //! byte-identical across [`pim_sim::ExecPolicy`] values and
-//! `PIM_EXEC_WORKERS` settings.
+//! `PIM_EXEC_WORKERS` settings — including runs under a
+//! [`pim_sim::FaultPlan`], whose fault draws are pure functions of the
+//! plan and stable identities. With faults scheduled the frontend
+//! *self-heals*: health-aware routing skips dead DPUs, failed transfer
+//! shards retry with bounded exponential backoff, and requests
+//! stranded on a DPU that dies mid-run are re-dispatched; the
+//! [`FaultSummary`] section of each report accounts for every drop.
 //!
 //! ## Quick example
 //!
@@ -52,6 +58,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod arrival;
 pub mod frontend;
@@ -59,6 +66,6 @@ pub mod request;
 pub mod sweep;
 
 pub use arrival::ArrivalProcess;
-pub use frontend::{serve, ServeConfig, ServeReport};
+pub use frontend::{serve, FaultSummary, RetryPolicy, ServeConfig, ServeReport};
 pub use request::{BuildAllocator, RequestClass};
 pub use sweep::{estimated_capacity_rps, saturation_sweep, LoadPoint, SaturationReport};

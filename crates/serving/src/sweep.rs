@@ -8,6 +8,12 @@
 //! topology-aware executor under the config's
 //! [`pim_sim::ExecPolicy`]; results merge in index order, so the
 //! report is byte-identical across policies and worker counts.
+//!
+//! Sweeping a config whose context carries a [`pim_sim::FaultPlan`]
+//! measures the *degraded* fleet: fault-attributed drops count
+//! against the knee exactly like admission drops (both live in
+//! [`ServeReport::drop_frac`]), so the knee under faults is the
+//! honest capacity of the surviving DPUs.
 
 use pim_sim::parallel_indexed_with;
 

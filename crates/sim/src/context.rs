@@ -27,6 +27,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::exec::ExecPolicy;
+use crate::fault::FaultPlan;
 use crate::host::TransferModel;
 use crate::xfer::{HostBatching, ShardedXfer};
 
@@ -48,6 +49,9 @@ pub struct SimContext {
     pub exec: ExecPolicy,
     /// Seed for the workload's stochastic generators.
     pub seed: u64,
+    /// Seeded fault schedule for the fleet; [`FaultPlan::none`] (the
+    /// default) disables the fault paths entirely.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimContext {
@@ -59,6 +63,7 @@ impl Default for SimContext {
             batching: HostBatching::default(),
             exec: ExecPolicy::default(),
             seed: 42,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -92,6 +97,11 @@ impl SimContext {
     /// This context with a different execution policy.
     pub fn with_exec(self, exec: ExecPolicy) -> Self {
         SimContext { exec, ..self }
+    }
+
+    /// This context with a fault schedule (chaos ergonomics).
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        SimContext { faults, ..self }
     }
 
     /// A transfer planner over this context's model and batching
@@ -134,6 +144,12 @@ impl SimContextBuilder {
         self
     }
 
+    /// Sets the fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.ctx.faults = faults;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> SimContext {
         self.ctx
@@ -151,6 +167,8 @@ mod tests {
         assert_eq!(ctx.batching, HostBatching::Sharded);
         assert_eq!(ctx.exec, ExecPolicy::default());
         assert_eq!(ctx.seed, 42);
+        assert_eq!(ctx.faults, FaultPlan::none());
+        assert!(!ctx.faults.enabled());
     }
 
     #[test]
@@ -193,6 +211,9 @@ mod tests {
         );
         assert_eq!(base.with_exec(ExecPolicy::Sticky).exec, ExecPolicy::Sticky);
         assert_eq!(base.with_seed(5).transfer, base.transfer);
+        let chaotic = base.with_faults(FaultPlan::chaos(3));
+        assert_eq!(chaotic.faults, FaultPlan::chaos(3));
+        assert_eq!(chaotic.seed, base.seed, "faults leave the workload seed");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod context;
 pub mod cost;
 pub mod dpu;
 pub mod exec;
+pub mod fault;
 pub mod host;
 pub mod iram;
 pub mod mram;
@@ -70,6 +71,7 @@ pub use dpu::{DpuConfig, DpuSim, MutexId, TaskletCtx};
 pub use exec::{
     parallel_indexed, parallel_indexed_with, EpochReport, ExecPolicy, Executor, HostTopology,
 };
+pub use fault::{FaultPlan, ShardFault};
 pub use host::{HostConfig, HostSim, TransferDirection, TransferModel};
 pub use iram::Iram;
 pub use mram::Mram;
@@ -79,4 +81,4 @@ pub use stats::{DramTraffic, LatencyRecorder, LatencySummary, TaskletStats};
 pub use system::PimSystem;
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};
 pub use wram::Wram;
-pub use xfer::{HostBatching, ShardedXfer, TransferPlan, XferEstimate};
+pub use xfer::{FaultyXferEstimate, HostBatching, ShardedXfer, TransferPlan, XferEstimate};

@@ -21,6 +21,7 @@
 use crate::context::SimContext;
 use crate::cost::Cycles;
 use crate::dpu::{DpuConfig, DpuSim};
+use crate::fault::FaultPlan;
 use crate::host::{HostConfig, HostSim, TransferDirection, TransferModel};
 use crate::xfer::{HostBatching, TransferPlan};
 
@@ -36,6 +37,7 @@ pub struct DpuSet {
     dpus: Vec<DpuSim>,
     host: HostSim,
     batching: HostBatching,
+    faults: FaultPlan,
     elapsed_secs: f64,
     launches: u64,
 }
@@ -54,25 +56,16 @@ impl DpuSet {
             dpus: (0..n).map(|_| DpuSim::new(config.clone())).collect(),
             host: HostSim::new(HostConfig::default(), TransferModel::default()),
             batching: HostBatching::Sharded,
+            faults: FaultPlan::none(),
             elapsed_secs: 0.0,
             launches: 0,
         }
     }
 
-    /// Sets the transfer scheduling policy for subsequent pushes and
-    /// pulls.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `DpuSet::with_ctx(&SimContext)` — one context carries \
-                the batching policy and the transfer model together"
-    )]
-    pub fn with_batching(mut self, batching: HostBatching) -> Self {
-        self.batching = batching;
-        self
-    }
-
-    /// Adopts a [`SimContext`]'s transfer model and batching policy for
-    /// subsequent pushes and pulls.
+    /// Adopts a [`SimContext`]'s transfer model, batching policy, and
+    /// fault schedule for subsequent pushes, pulls, and launches. With
+    /// a fault plan set, dead DPUs are excluded from transfer plans
+    /// and kernel launches ([`DpuSet::healthy`]).
     ///
     /// ```
     /// use pim_sim::{DpuConfig, DpuSet, HostBatching, SimContext};
@@ -83,12 +76,34 @@ impl DpuSet {
     pub fn with_ctx(mut self, ctx: &SimContext) -> Self {
         self.batching = ctx.batching;
         self.host = HostSim::new(HostConfig::default(), ctx.transfer);
+        self.faults = ctx.faults;
         self
     }
 
     /// The transfer scheduling policy in use.
     pub fn batching(&self) -> HostBatching {
         self.batching
+    }
+
+    /// The set's elapsed host clock in simulated nanoseconds — the
+    /// timeline against which mid-run kills are evaluated.
+    fn now_ns(&self) -> u64 {
+        (self.elapsed_secs * 1e9) as u64
+    }
+
+    /// True if DPU `idx` is healthy right now under the set's fault
+    /// plan (not dead on arrival, not yet killed). Always true without
+    /// a fault plan.
+    pub fn healthy(&self, idx: usize) -> bool {
+        self.faults.healthy_at(idx, self.now_ns())
+    }
+
+    /// Number of currently healthy DPUs.
+    pub fn healthy_count(&self) -> usize {
+        let now = self.now_ns();
+        (0..self.dpus.len())
+            .filter(|&d| self.faults.healthy_at(d, now))
+            .count()
     }
 
     /// Number of DPUs in the set.
@@ -114,33 +129,62 @@ impl DpuSet {
     /// `pimMemcpy(HOST2PIM)`: writes `bytes_per_dpu` to every DPU's
     /// MRAM through `writer`, scheduled under the set's
     /// [`HostBatching`] policy (per-rank shards by default).
+    /// Dead DPUs are excluded: their buffers never enter the plan and
+    /// `writer` is not called for them.
     pub fn push(&mut self, bytes_per_dpu: u64, mut writer: impl FnMut(usize, &mut crate::Mram)) {
-        let plan =
-            TransferPlan::uniform(TransferDirection::HostToPim, self.dpus.len(), bytes_per_dpu);
+        let plan = self.uniform_plan(TransferDirection::HostToPim, bytes_per_dpu);
         self.elapsed_secs += self.host.transfer_plan(&plan, self.batching).secs;
+        let now = self.now_ns();
         for (idx, dpu) in self.dpus.iter_mut().enumerate() {
-            writer(idx, dpu.mram_mut());
+            if self.faults.healthy_at(idx, now) {
+                writer(idx, dpu.mram_mut());
+            }
         }
     }
 
     /// `pimMemcpy(PIM2HOST)`: reads `bytes_per_dpu` from every DPU's
     /// MRAM through `reader`, scheduled under the set's
     /// [`HostBatching`] policy (per-rank shards by default).
+    /// Dead DPUs are excluded: their buffers never enter the plan and
+    /// `reader` is not called for them.
     pub fn pull(&mut self, bytes_per_dpu: u64, mut reader: impl FnMut(usize, &crate::Mram)) {
-        let plan =
-            TransferPlan::uniform(TransferDirection::PimToHost, self.dpus.len(), bytes_per_dpu);
+        let plan = self.uniform_plan(TransferDirection::PimToHost, bytes_per_dpu);
         self.elapsed_secs += self.host.transfer_plan(&plan, self.batching).secs;
+        let now = self.now_ns();
         for (idx, dpu) in self.dpus.iter().enumerate() {
-            reader(idx, dpu.mram());
+            if self.faults.healthy_at(idx, now) {
+                reader(idx, dpu.mram());
+            }
         }
     }
 
-    /// `pimLaunch`: runs `kernel` on every DPU (SPMD) and waits for the
-    /// slowest one. The host clock advances by the launch overhead plus
-    /// the slowest DPU's virtual-time delta.
+    /// A uniform plan over the currently healthy DPUs (all of them
+    /// without a fault plan — byte-identical to the fault-free path).
+    fn uniform_plan(&self, direction: TransferDirection, bytes_per_dpu: u64) -> TransferPlan {
+        if !self.faults.enabled() {
+            return TransferPlan::uniform(direction, self.dpus.len(), bytes_per_dpu);
+        }
+        let now = self.now_ns();
+        let mut plan = TransferPlan::new(direction);
+        for idx in 0..self.dpus.len() {
+            if self.faults.healthy_at(idx, now) {
+                plan.push(idx, bytes_per_dpu);
+            }
+        }
+        plan
+    }
+
+    /// `pimLaunch`: runs `kernel` on every healthy DPU (SPMD) and waits
+    /// for the slowest one. The host clock advances by the launch
+    /// overhead plus the slowest DPU's virtual-time delta. Dead DPUs
+    /// never boot, so the kernel is not invoked on them.
     pub fn launch(&mut self, mut kernel: impl FnMut(usize, &mut DpuSim)) {
         let mut slowest = Cycles::ZERO;
+        let now = self.now_ns();
         for (idx, dpu) in self.dpus.iter_mut().enumerate() {
+            if !self.faults.healthy_at(idx, now) {
+                continue;
+            }
             let before = dpu.max_clock();
             kernel(idx, dpu);
             slowest = slowest.max(dpu.max_clock() - before);
@@ -227,12 +271,52 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_batching_matches_with_ctx() {
-        let old = DpuSet::allocate(1, DpuConfig::default()).with_batching(HostBatching::PerDpu);
-        let ctx = SimContext::default().with_batching(HostBatching::PerDpu);
-        let new = DpuSet::allocate(1, DpuConfig::default()).with_ctx(&ctx);
-        assert_eq!(old.batching(), new.batching());
+    fn faulty_fleet_skips_dead_dpus() {
+        let faults = FaultPlan {
+            seed: 5,
+            dead_frac: 0.25,
+            ..FaultPlan::none()
+        };
+        let ctx = SimContext::default().with_faults(faults);
+        let n = 64;
+        let mut set = DpuSet::allocate(n, DpuConfig::default().with_tasklets(1)).with_ctx(&ctx);
+        let dead: Vec<usize> = (0..n).filter(|&d| faults.dead_on_arrival(d)).collect();
+        assert!(!dead.is_empty() && dead.len() < n);
+        assert_eq!(set.healthy_count(), n - dead.len());
+
+        let mut pushed = vec![false; n];
+        set.push(8, |idx, mram| {
+            pushed[idx] = true;
+            mram.write_u64(0, 1);
+        });
+        let mut launched = vec![false; n];
+        set.launch(|idx, dpu| {
+            launched[idx] = true;
+            let mut c = dpu.ctx(0);
+            c.instrs(10);
+        });
+        let mut pulled = vec![false; n];
+        set.pull(8, |idx, _| pulled[idx] = true);
+        for d in 0..n {
+            let alive = !faults.dead_on_arrival(d);
+            assert_eq!(pushed[d], alive, "push visited dead DPU {d}");
+            assert_eq!(launched[d], alive, "launch booted dead DPU {d}");
+            assert_eq!(pulled[d], alive, "pull visited dead DPU {d}");
+        }
+        // Dead buffers left the transfer plan: fewer bytes moved.
+        assert_eq!(set.bytes_moved(), 2 * 8 * (n - dead.len()) as u64);
+    }
+
+    #[test]
+    fn fault_free_ctx_is_byte_identical_to_default() {
+        let ctx = SimContext::default();
+        let mut plain = DpuSet::allocate(16, DpuConfig::default());
+        let mut faultless = DpuSet::allocate(16, DpuConfig::default()).with_ctx(&ctx);
+        plain.push(128, |_, _| {});
+        faultless.push(128, |_, _| {});
+        assert_eq!(plain.elapsed_secs(), faultless.elapsed_secs());
+        assert_eq!(plain.bytes_moved(), faultless.bytes_moved());
+        assert_eq!(faultless.healthy_count(), 16);
     }
 
     #[test]

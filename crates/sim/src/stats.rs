@@ -320,4 +320,39 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.mean(), Cycles(2));
     }
+
+    /// The serving frontend records latencies at completion time, so
+    /// under fault re-dispatch the same sample set can arrive in a
+    /// different order than under fault-free routing. The byte-identity
+    /// contract therefore requires summaries to be a pure function of
+    /// the multiset of samples, independent of insertion order.
+    #[test]
+    fn summary_is_insertion_order_invariant() {
+        let samples: Vec<u64> = (0..257u64).map(|i| (i * 7919) % 1013).collect();
+        let mut fwd = LatencyRecorder::new();
+        for &v in &samples {
+            fwd.record(Cycles(v));
+        }
+        let mut rev = LatencyRecorder::new();
+        for &v in samples.iter().rev() {
+            rev.record(Cycles(v));
+        }
+        // Interleaved from both ends, as if two DPUs completed in turn.
+        let mut shuffled = LatencyRecorder::new();
+        let (mut lo, mut hi) = (0, samples.len() - 1);
+        while lo < hi {
+            shuffled.record(Cycles(samples[lo]));
+            shuffled.record(Cycles(samples[hi]));
+            lo += 1;
+            hi -= 1;
+        }
+        if lo == hi {
+            shuffled.record(Cycles(samples[lo]));
+        }
+        let reference = fwd.summary();
+        assert_eq!(reference, rev.summary());
+        assert_eq!(reference, shuffled.summary());
+        assert_eq!(fwd.mean(), rev.mean());
+        assert_eq!(fwd.percentile(0.99), shuffled.percentile(0.99));
+    }
 }

@@ -30,6 +30,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultPlan, ShardFault};
 use crate::host::{TransferDirection, TransferModel};
 
 /// How the host schedules the per-DPU buffers of a [`TransferPlan`].
@@ -152,6 +153,39 @@ impl XferEstimate {
     }
 }
 
+/// A [`ShardedXfer`] estimate priced under a [`FaultPlan`]: the base
+/// estimate plus which rank shards failed or straggled and what the
+/// stragglers cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyXferEstimate {
+    /// The schedule's estimate with straggle inflation already folded
+    /// into `est.secs` (failed shards still pay their call + data time:
+    /// the host only learns of the failure after issuing the call).
+    pub est: XferEstimate,
+    /// DPUs whose payload never landed because their rank shard failed
+    /// (ascending, deduplicated). The sender must retry or drop them.
+    pub failed_dpus: Vec<usize>,
+    /// Rank shards that failed outright.
+    pub failed_shards: u64,
+    /// Rank shards that completed but straggled.
+    pub straggled_shards: u64,
+    /// Extra seconds the slowest straggler added to the plan.
+    pub straggle_secs: f64,
+}
+
+impl FaultyXferEstimate {
+    /// A fault-free wrapper around a plain estimate.
+    pub fn clean(est: XferEstimate) -> Self {
+        FaultyXferEstimate {
+            est,
+            failed_dpus: Vec::new(),
+            failed_shards: 0,
+            straggled_shards: 0,
+            straggle_secs: 0.0,
+        }
+    }
+}
+
 /// Groups a plan's per-DPU buffers into per-rank shards and prices
 /// both schedules; see the module docs for the model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -231,6 +265,69 @@ impl ShardedXfer {
                     }
                 }
             }
+        }
+    }
+
+    /// Prices `plan` under `faults`, attributing per-rank shard
+    /// outcomes drawn for transfer identity `nonce` (callers pass a
+    /// deterministic transfer ordinal, e.g. the serving loop's flush
+    /// counter).
+    ///
+    /// Failed shards still pay their call and data time — the host
+    /// only learns a shard failed after issuing it — but their DPUs'
+    /// payloads never land (`failed_dpus`). Straggling shards inflate
+    /// the plan by `straggle_factor`× the slowest straggler's rank
+    /// data time. With faults disabled this is exactly
+    /// [`ShardedXfer::estimate`] wrapped in
+    /// [`FaultyXferEstimate::clean`].
+    pub fn estimate_with_faults(
+        &self,
+        plan: &TransferPlan,
+        faults: &FaultPlan,
+        nonce: u64,
+    ) -> FaultyXferEstimate {
+        let est = self.estimate(plan);
+        if !faults.xfer_enabled() || est.bytes == 0 {
+            return FaultyXferEstimate::clean(est);
+        }
+        let loads = self.model.rank_loads(plan);
+        let mut failed_ranks: Vec<usize> = Vec::new();
+        let mut failed_shards = 0u64;
+        let mut straggled_shards = 0u64;
+        let mut straggle_secs: f64 = 0.0;
+        for &(rank, bytes) in &loads {
+            match faults.shard_fault(nonce, rank as u64) {
+                ShardFault::Fail => {
+                    failed_shards += 1;
+                    failed_ranks.push(rank);
+                }
+                ShardFault::Straggle => {
+                    straggled_shards += 1;
+                    let data_secs = bytes as f64 / (self.model.rank_bw_gbps * 1e9);
+                    straggle_secs = straggle_secs.max(faults.straggle_factor * data_secs);
+                }
+                ShardFault::None => {}
+            }
+        }
+        let mut failed_dpus: Vec<usize> = plan
+            .entries()
+            .iter()
+            .filter(|&&(dpu, bytes)| {
+                bytes > 0 && failed_ranks.contains(&(dpu / self.model.dpus_per_rank))
+            })
+            .map(|&(dpu, _)| dpu)
+            .collect();
+        failed_dpus.sort_unstable();
+        failed_dpus.dedup();
+        FaultyXferEstimate {
+            est: XferEstimate {
+                secs: est.secs + straggle_secs,
+                ..est
+            },
+            failed_dpus,
+            failed_shards,
+            straggled_shards,
+            straggle_secs,
         }
     }
 }
@@ -354,5 +451,82 @@ mod tests {
         assert_eq!(HostBatching::default(), HostBatching::Sharded);
         assert_eq!(HostBatching::PerDpu.label(), "per-DPU calls");
         assert_eq!(HostBatching::Sharded.label(), "per-rank shards");
+    }
+
+    #[test]
+    fn faultless_plan_prices_identically() {
+        let plan = TransferPlan::uniform(TransferDirection::HostToPim, 256, 4096);
+        let planner = ShardedXfer::new(model(), HostBatching::Sharded);
+        let clean = planner.estimate(&plan);
+        let faulty = planner.estimate_with_faults(&plan, &FaultPlan::none(), 7);
+        assert_eq!(faulty, FaultyXferEstimate::clean(clean));
+        assert_eq!(faulty.est, clean);
+    }
+
+    #[test]
+    fn failed_shards_name_their_dpus() {
+        // Force every shard to fail: all DPUs with payload are listed.
+        let faults = FaultPlan {
+            xfer_fail_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut plan = TransferPlan::new(TransferDirection::HostToPim);
+        plan.push(3, 512);
+        plan.push(70, 0); // zero-byte entry never "fails"
+        plan.push(130, 512);
+        let planner = ShardedXfer::new(model(), HostBatching::Sharded);
+        let f = planner.estimate_with_faults(&plan, &faults, 0);
+        assert_eq!(f.failed_dpus, vec![3, 130]);
+        assert_eq!(f.failed_shards, 2, "two occupied ranks, both failed");
+        assert_eq!(f.straggled_shards, 0);
+        // Failure does not refund the call: time matches the clean run.
+        assert_eq!(f.est.secs, planner.estimate(&plan).secs);
+    }
+
+    #[test]
+    fn stragglers_inflate_time_but_land_payloads() {
+        let faults = FaultPlan {
+            xfer_straggle_prob: 1.0,
+            straggle_factor: 3.0,
+            ..FaultPlan::none()
+        };
+        let plan = TransferPlan::uniform(TransferDirection::HostToPim, 128, 1 << 16);
+        let planner = ShardedXfer::new(model(), HostBatching::Sharded);
+        let clean = planner.estimate(&plan);
+        let f = planner.estimate_with_faults(&plan, &faults, 1);
+        assert!(f.failed_dpus.is_empty());
+        assert_eq!(f.straggled_shards, 2, "128 DPUs = 2 ranks");
+        assert!(f.straggle_secs > 0.0);
+        assert!((f.est.secs - (clean.secs + f.straggle_secs)).abs() < 1e-15);
+        // Straggle adds the slowest shard's factor x data time.
+        let rank_data = (64.0 * (1 << 16) as f64) / (model().rank_bw_gbps * 1e9);
+        assert!((f.straggle_secs - 3.0 * rank_data).abs() / f.straggle_secs < 1e-12);
+    }
+
+    #[test]
+    fn shard_outcomes_are_deterministic_per_nonce() {
+        let faults = FaultPlan {
+            seed: 11,
+            xfer_fail_prob: 0.3,
+            xfer_straggle_prob: 0.3,
+            straggle_factor: 2.0,
+            ..FaultPlan::none()
+        };
+        let plan = TransferPlan::uniform(TransferDirection::PimToHost, 512, 2048);
+        let planner = ShardedXfer::new(model(), HostBatching::Sharded);
+        for nonce in 0..16 {
+            assert_eq!(
+                planner.estimate_with_faults(&plan, &faults, nonce),
+                planner.estimate_with_faults(&plan, &faults, nonce)
+            );
+        }
+        // Across many nonces the outcomes vary (not a constant draw).
+        let distinct: std::collections::BTreeSet<u64> = (0..64)
+            .map(|n| {
+                let f = planner.estimate_with_faults(&plan, &faults, n);
+                f.failed_shards * 100 + f.straggled_shards
+            })
+            .collect();
+        assert!(distinct.len() > 1);
     }
 }

@@ -4,16 +4,18 @@
 //! downstream consumers can depend on one crate:
 //!
 //! * [`SimContext`] — the unified execution context (transfer model,
-//!   host batching, executor policy, seed) every simulation config
-//!   embeds; [`SimContextBuilder`] for fluent construction.
+//!   host batching, executor policy, seed, fault plan) every
+//!   simulation config embeds; [`SimContextBuilder`] for fluent
+//!   construction.
 //! * The serving frontend: [`serve`] / [`saturation_sweep`] with
 //!   [`ServeConfig`], [`ArrivalProcess`], [`RequestClass`] and their
-//!   reports.
-//! * The execution knobs those APIs take: [`ExecPolicy`] and
-//!   [`HostBatching`].
+//!   reports — including the self-healing knobs ([`RetryPolicy`]) and
+//!   the degraded-capacity report section ([`FaultSummary`]).
+//! * The execution knobs those APIs take: [`ExecPolicy`],
+//!   [`HostBatching`], and the seeded [`FaultPlan`] fault schedule.
 
 pub use pim_serving::{
-    estimated_capacity_rps, saturation_sweep, serve, ArrivalProcess, LoadPoint, RequestClass,
-    SaturationReport, ServeConfig, ServeReport,
+    estimated_capacity_rps, saturation_sweep, serve, ArrivalProcess, FaultSummary, LoadPoint,
+    RequestClass, RetryPolicy, SaturationReport, ServeConfig, ServeReport,
 };
-pub use pim_sim::{ExecPolicy, HostBatching, SimContext, SimContextBuilder};
+pub use pim_sim::{ExecPolicy, FaultPlan, HostBatching, ShardFault, SimContext, SimContextBuilder};

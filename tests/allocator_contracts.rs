@@ -79,6 +79,38 @@ fn every_design_rejects_invalid_operations() {
 }
 
 #[test]
+fn quarantine_contract_holds_through_the_dyn_interface() {
+    // A quarantine budget is a PimMalloc config knob, but the sealing
+    // behaviour must be observable through the same `dyn PimAllocator`
+    // surface the workloads use: invalid frees within the budget are
+    // reported individually, the overrun seals the allocator, and a
+    // sealed allocator refuses even valid traffic.
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
+    let cfg = PimMallocConfig::sw(1).with_quarantine(2);
+    let mut alloc: Box<dyn PimAllocator> = Box::new(PimMalloc::init(&mut dpu, cfg).expect("init"));
+    let mut ctx = dpu.ctx(0);
+    let live = alloc.pim_malloc(&mut ctx, 128).unwrap();
+    for i in 0..2u32 {
+        assert!(matches!(
+            alloc.pim_free(&mut ctx, 0x0dea_d000 + i),
+            Err(AllocError::InvalidFree { .. })
+        ));
+    }
+    assert!(matches!(
+        alloc.pim_free(&mut ctx, 0x0dea_d100),
+        Err(AllocError::Quarantined { invalid_frees: 3 })
+    ));
+    assert!(matches!(
+        alloc.pim_malloc(&mut ctx, 64),
+        Err(AllocError::Quarantined { .. })
+    ));
+    assert!(matches!(
+        alloc.pim_free(&mut ctx, live),
+        Err(AllocError::Quarantined { .. })
+    ));
+}
+
+#[test]
 fn every_design_recovers_all_memory_after_churn() {
     for kind in KINDS {
         let (mut dpu, mut alloc) = setup(kind, 4);

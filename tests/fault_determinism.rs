@@ -1,0 +1,132 @@
+//! End-to-end fault-injection contract: a fixed [`FaultPlan`] seed
+//! must produce *byte-identical* serving reports across every
+//! execution policy (and, via the CI matrix, every `PIM_EXEC_WORKERS`
+//! setting) — fault draws are pure functions of the plan, never of
+//! scheduling. A different fault seed must produce a different fault
+//! trace, and a disabled plan must leave reports byte-identical to a
+//! default context.
+
+use pim_malloc::PimAllocator;
+use pim_serving::{serve, ArrivalProcess, ServeConfig, ServeReport};
+use pim_sim::{DpuSim, ExecPolicy, FaultPlan, SimContext, TransferDirection, TransferPlan};
+use pim_workloads::requests::standard_mix;
+use pim_workloads::AllocatorKind;
+
+fn build(dpu: &mut DpuSim, tasklets: usize, heap: u32) -> Box<dyn PimAllocator> {
+    AllocatorKind::Sw.build(dpu, tasklets, heap)
+}
+
+fn base(faults: FaultPlan) -> ServeConfig {
+    ServeConfig {
+        n_dpus: 128,
+        n_requests: 10_000,
+        arrival: ArrivalProcess::Poisson { rps: 250_000.0 },
+        ctx: SimContext::sweep_default().with_faults(faults),
+        ..ServeConfig::default()
+    }
+}
+
+fn chaotic_serve(exec: ExecPolicy, fault_seed: u64) -> ServeReport {
+    let cfg = base(FaultPlan::chaos(fault_seed));
+    let cfg = ServeConfig {
+        ctx: cfg.ctx.with_exec(exec),
+        ..cfg
+    };
+    serve(&cfg, &standard_mix(), &build)
+}
+
+#[test]
+fn fault_plan_is_exec_policy_invariant() {
+    // The whole point of the pure-function fault model: one seed, one
+    // fault trace, regardless of how sweeps are scheduled.
+    // (ServeReport derives PartialEq — f64 equality, not tolerance.)
+    let reference = chaotic_serve(ExecPolicy::Serial, 0xFA11);
+    assert!(
+        reference.faults.doa_dpus > 0,
+        "chaos on 128 DPUs must kill some at birth"
+    );
+    for policy in [
+        ExecPolicy::Oblivious,
+        ExecPolicy::Sticky,
+        ExecPolicy::StickySteal,
+    ] {
+        assert_eq!(
+            chaotic_serve(policy, 0xFA11),
+            reference,
+            "{policy:?} diverged under faults"
+        );
+    }
+}
+
+#[test]
+fn fault_seed_changes_the_fault_trace() {
+    let a = chaotic_serve(ExecPolicy::StickySteal, 1);
+    let b = chaotic_serve(ExecPolicy::StickySteal, 2);
+    assert_ne!(
+        (a.faults.doa_dpus, a.faults.healthy_final, a.latency.p99),
+        (b.faults.doa_dpus, b.faults.healthy_final, b.latency.p99),
+        "different fault seeds must reshape the run"
+    );
+}
+
+#[test]
+fn disabled_faults_match_a_default_context() {
+    // FaultPlan::none() must take zero fault paths: the report equals
+    // one produced by a context that never heard of faults.
+    let with_none = serve(&base(FaultPlan::none()), &standard_mix(), &build);
+    let cfg = ServeConfig {
+        ctx: SimContext::sweep_default(),
+        ..base(FaultPlan::none())
+    };
+    let vanilla = serve(&cfg, &standard_mix(), &build);
+    assert_eq!(with_none, vanilla);
+    let f = &with_none.faults;
+    assert_eq!(f.doa_dpus + f.killed_dpus + f.retries + f.redispatched, 0);
+    assert_eq!(f.fault_drops(), 0);
+}
+
+#[test]
+fn fault_accounting_closes_under_chaos() {
+    let r = chaotic_serve(ExecPolicy::StickySteal, 0xFA11);
+    assert_eq!(
+        r.admitted + r.dropped,
+        10_000,
+        "every request completes or is attributed a drop"
+    );
+    assert_eq!(
+        r.dropped,
+        r.faults.drops_queue_full + r.faults.fault_drops(),
+        "drop attribution must sum to the total"
+    );
+    assert_eq!(r.latency.count, r.admitted);
+    assert_eq!(
+        r.faults.healthy_timeline.len() as u64,
+        1 + r.faults.killed_dpus,
+        "one timeline point at t=0 plus one per kill"
+    );
+}
+
+#[test]
+fn transfer_faults_are_nonce_deterministic() {
+    // The sharded transfer model prices the same plan identically for
+    // the same (fault plan, nonce) and differently across nonces that
+    // actually change a draw.
+    let ctx = SimContext::sweep_default().with_faults(FaultPlan {
+        seed: 9,
+        xfer_fail_prob: 0.3,
+        ..FaultPlan::none()
+    });
+    let planner = ctx.planner();
+    let mut plan = TransferPlan::new(TransferDirection::HostToPim);
+    for dpu in 0..256 {
+        plan.push(dpu, 4096);
+    }
+    let a = planner.estimate_with_faults(&plan, &ctx.faults, 0);
+    let b = planner.estimate_with_faults(&plan, &ctx.faults, 0);
+    assert_eq!(a, b, "same nonce, same faults");
+    let faulted = (0..64u64)
+        .map(|nonce| planner.estimate_with_faults(&plan, &ctx.faults, nonce))
+        .filter(|f| f.failed_shards > 0)
+        .count();
+    assert!(faulted > 0, "a 30% shard-fail prob must fire somewhere");
+}
