@@ -24,7 +24,7 @@
 //! draw is a pure function of the plan — the experiment is
 //! byte-identical across `ExecPolicy` × `PIM_EXEC_WORKERS`.
 
-use pim_malloc::{AllocError, PimAllocator, PimMalloc, PimMallocConfig};
+use pim_malloc::{AllocError, AllocGeometry, PimAllocator, PimMalloc};
 use pim_serving::{estimated_capacity_rps, serve, ArrivalProcess, ServeConfig, ServeReport};
 use pim_sim::{parallel_indexed_with, DpuConfig, DpuSim, FaultPlan};
 use pim_workloads::requests::standard_mix;
@@ -83,9 +83,10 @@ fn serve_row(label: &str, r: &ServeReport) -> Row {
 /// live allocations preserved).
 fn corrupted_free_storm(plan: &FaultPlan) -> (u64, u64, bool, u64) {
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
-    let cfg = PimMallocConfig::sw(1)
+    let cfg = AllocGeometry::sw(1)
         .with_heap_size(1 << 20)
-        .with_quarantine(QUARANTINE_BUDGET);
+        .with_quarantine(QUARANTINE_BUDGET)
+        .build();
     let mut pm = PimMalloc::init(&mut dpu, cfg).expect("init");
     let mut ctx = dpu.ctx(0);
     let mut live: Vec<u32> = Vec::new();
@@ -126,7 +127,7 @@ fn oom_pressure_run(pressure_frac: f64) -> (u64, u64) {
     let full: u32 = 1 << 18;
     let usable = ((full as f64) * (1.0 - pressure_frac)).max(4096.0) as u32;
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
-    let cfg = PimMallocConfig::sw(1).with_heap_size(usable);
+    let cfg = AllocGeometry::sw(1).with_heap_size(usable).build();
     let mut pm = PimMalloc::init(&mut dpu, cfg).expect("init");
     let mut ctx = dpu.ctx(0);
     let mut ok = 0u64;

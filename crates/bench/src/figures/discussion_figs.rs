@@ -10,7 +10,7 @@
 //!    fine-granularity buddy cache matches its latency with a fraction
 //!    of the capacity and the DRAM traffic.
 
-use pim_malloc::{BackendKind, PimAllocator, PimMalloc, PimMallocConfig};
+use pim_malloc::{AllocGeometry, BackendKind, PimAllocator, PimMalloc};
 use pim_sim::{BuddyCacheConfig, CostModel, Cycles, DpuConfig, DpuSim};
 
 use crate::report::{Experiment, Row};
@@ -25,7 +25,7 @@ fn alloc_share_kernel(cost: CostModel, allocs: usize) -> (f64, f64) {
         }
         .with_tasklets(16),
     );
-    let mut pm = PimMalloc::init(&mut dpu, PimMallocConfig::sw(16)).expect("init");
+    let mut pm = PimMalloc::init(&mut dpu, AllocGeometry::sw(16).build()).expect("init");
     let mut malloc_cycles = Cycles::ZERO;
     for i in 0..allocs {
         let tid = i % 16;
@@ -126,8 +126,7 @@ pub fn discussion_cache_granularity(quick: bool) -> Experiment {
     ];
     for (label, backend) in backends {
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
-        let mut cfg = PimMallocConfig::hw_sw(16);
-        cfg.backend = backend;
+        let cfg = AllocGeometry::hw_sw(16).with_backend(backend).build();
         let mut pm = PimMalloc::init(&mut dpu, cfg).expect("init");
         for i in 0..allocs {
             let mut ctx = dpu.ctx(i % 16);

@@ -107,10 +107,10 @@ pub fn fig11(quick: bool, seed: u64) -> Experiment {
     }
     // Attention / KV-cache growth: 512 B blocks through PIM-malloc-SW.
     {
-        use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
+        use pim_malloc::{AllocGeometry, PimAllocator, PimMalloc};
         use pim_sim::{DpuConfig, DpuSim};
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
-        let mut pm = PimMalloc::init(&mut dpu, PimMallocConfig::sw(16)).expect("init");
+        let mut pm = PimMalloc::init(&mut dpu, AllocGeometry::sw(16).build()).expect("init");
         let blocks = if quick { 512 } else { 4096 };
         for i in 0..blocks {
             let mut ctx = dpu.ctx(i % 16);

@@ -16,6 +16,7 @@ mod llm_figs;
 mod micro_figs;
 mod overhead_figs;
 mod serve_figs;
+mod tier_figs;
 mod trace_figs;
 
 pub use batching_figs::host_batching;
@@ -27,6 +28,7 @@ pub use llm_figs::{fig18, fig4b};
 pub use micro_figs::{ablation_descent, ablation_swlru, fig15, fig16, fig7, fig8};
 pub use overhead_figs::{hw_overhead, metadata_overhead, table3};
 pub use serve_figs::serve_frontend;
+pub use tier_figs::tier_comparison;
 pub use trace_figs::{scenario_families, trace_artifact_files, trace_replay, TRACE_DEFAULT_SEED};
 
 use crate::report::Experiment;
@@ -47,7 +49,7 @@ const CHAOS_DEFAULT_SEED: u64 = 0xC4A05;
 
 /// Every experiment id with a one-line description, in paper order
 /// (extensions last). `repro list` prints this catalogue.
-pub const CATALOG: [(&str, &str); 20] = [
+pub const CATALOG: [(&str, &str); 21] = [
     (
         "fig3c",
         "graph-update slowdown vs pre-update graph size, static vs dynamic",
@@ -122,6 +124,10 @@ pub const CATALOG: [(&str, &str); 20] = [
         "chaos",
         "resilience: self-healing serving under a fault plan + allocator fault injection",
     ),
+    (
+        "tiers",
+        "free-path tiering: three-tier transfer cache vs two-tier global lock on producer-consumer",
+    ),
 ];
 
 /// Every experiment id, in catalogue order.
@@ -167,6 +173,7 @@ pub fn run(id: &str, quick: bool, seed: Option<u64>) -> Vec<Experiment> {
         "trace" => vec![trace_replay(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
         "serve" => vec![serve_frontend(quick, seed.unwrap_or(SERVE_DEFAULT_SEED))],
         "chaos" => vec![chaos_resilience(quick, seed.unwrap_or(CHAOS_DEFAULT_SEED))],
+        "tiers" => vec![tier_comparison(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
         other => {
             let ids: Vec<&str> = all_ids().collect();
             panic!("unknown experiment id `{other}`; valid ids: {ids:?}")

@@ -1,0 +1,123 @@
+//! The central free list — PIM-malloc's third tier, between the
+//! transfer cache and the buddy backend (tcmalloc's `CentralFreeList`
+//! with span-based accounting).
+//!
+//! Objects arrive here when a transfer-cache ring overflows its cap
+//! ([`CentralFreeList::demote`]): the oldest staged batch moves into
+//! per-class, address-ordered central circulation, and each object is
+//! charged to its block's [`crate::Span`]. Allocations that land on a
+//! centrally-held address claim it back ([`CentralFreeList::take`]).
+//! When the owning thread cache drains a block and hands it to the
+//! buddy backend, the block's span is retired and its remaining
+//! central objects are discarded ([`CentralFreeList::purge_block`]) —
+//! this is how fully-free spans return to the buddy: the canonical
+//! bitmap decides the block is free, and the central list's span
+//! accounting follows it.
+//!
+//! Like the transfer cache, this tier is a routing/pricing overlay:
+//! liveness stays canonical in the thread-cache bitmaps and frame
+//! table, so enabling it never changes which addresses the allocator
+//! returns.
+
+use std::collections::BTreeSet;
+
+use crate::geometry::SizeClassTable;
+use crate::span::{block_base_of, Span, SpanRegistry};
+
+/// Per-class central circulation plus span accounting.
+#[derive(Debug, Clone)]
+pub struct CentralFreeList {
+    classes: Vec<BTreeSet<u32>>,
+    spans: SpanRegistry,
+}
+
+impl CentralFreeList {
+    /// Creates an empty central free list with one set per size class.
+    pub fn new(classes: &SizeClassTable) -> Self {
+        CentralFreeList {
+            classes: vec![BTreeSet::new(); classes.len()],
+            spans: SpanRegistry::new(),
+        }
+    }
+
+    /// Accepts a batch demoted from the transfer cache into class
+    /// `class_idx`'s circulation.
+    pub fn demote(&mut self, class_idx: usize, batch: &[u32]) {
+        for &addr in batch {
+            let inserted = self.classes[class_idx].insert(addr);
+            debug_assert!(inserted, "address {addr:#x} already central");
+            self.spans.note_object(addr, class_idx);
+        }
+    }
+
+    /// Claims `addr` from class `class_idx` if centrally held.
+    pub fn take(&mut self, class_idx: usize, addr: u32) -> bool {
+        if self.classes[class_idx].remove(&addr) {
+            self.spans.release_object(addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retires the span of the cache block at `base` (returned to the
+    /// buddy backend), discarding its central objects. Returns the
+    /// retired span, if one was live. Host-side bookkeeping; no
+    /// simulated cost.
+    pub fn purge_block(&mut self, base: u32) -> Option<Span> {
+        let span = self.spans.retire(base)?;
+        self.classes[span.class_idx].retain(|&a| block_base_of(a) != base);
+        Some(span)
+    }
+
+    /// Centrally-held objects in class `class_idx`.
+    pub fn objects_in_class(&self, class_idx: usize) -> usize {
+        self.classes[class_idx].len()
+    }
+
+    /// Centrally-held objects across all classes.
+    pub fn objects_total(&self) -> usize {
+        self.classes.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Live spans (blocks with central objects).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> CentralFreeList {
+        CentralFreeList::new(&SizeClassTable::paper_default())
+    }
+
+    #[test]
+    fn demote_take_roundtrip_with_span_accounting() {
+        let mut c = list();
+        c.demote(2, &[0x1040, 0x1080, 0x2040]);
+        assert_eq!(c.objects_in_class(2), 3);
+        assert_eq!(c.span_count(), 2);
+        assert!(c.take(2, 0x1080));
+        assert!(!c.take(2, 0x1080), "already claimed");
+        assert!(!c.take(1, 0x1040), "wrong class");
+        assert_eq!(c.objects_total(), 2);
+        assert!(c.take(2, 0x1040));
+        assert_eq!(c.span_count(), 1, "0x1000 span drained");
+    }
+
+    #[test]
+    fn purge_retires_the_span_and_its_objects() {
+        let mut c = list();
+        c.demote(0, &[0x3010, 0x3020]);
+        c.demote(0, &[0x4010]);
+        let span = c.purge_block(0x3000).expect("span was live");
+        assert_eq!(span.central_objects, 2);
+        assert_eq!(c.objects_total(), 1);
+        assert_eq!(c.span_count(), 1);
+        assert!(c.purge_block(0x3000).is_none());
+        assert!(c.purge_block(0x5000).is_none(), "never-seen block");
+    }
+}

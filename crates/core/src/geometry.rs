@@ -1,0 +1,456 @@
+//! Allocator construction: the shared size-class table and the
+//! [`AllocGeometry`] builder.
+//!
+//! Historically every call site built a [`PimMallocConfig`] by struct
+//! literal (`PimMallocConfig { heap_size, ..PimMallocConfig::sw(n) }`)
+//! and poked fields afterwards, and every layer — thread caches,
+//! routing, tests — carried its own `&[u32]` copy of the size-class
+//! geometry. This module replaces both:
+//!
+//! * [`SizeClassTable`] is the single validated owner of the
+//!   size-class list. `class_for`/`class_bytes` live here; the thread
+//!   caches, the transfer cache, and the central free list all consume
+//!   one shared table instead of private slices.
+//! * [`AllocGeometry`] is a fluent builder mirroring
+//!   `pim_sim::SimContextBuilder`: start from a paper preset
+//!   ([`AllocGeometry::sw`] / [`AllocGeometry::hw_sw`]), chain
+//!   `with_*` overrides, and [`AllocGeometry::build`] the immutable
+//!   [`PimMallocConfig`] that [`crate::PimMalloc::init`] consumes.
+//!
+//! ```
+//! use pim_malloc::{AllocGeometry, SizeClassTable};
+//!
+//! let cfg = AllocGeometry::sw(16)
+//!     .with_heap_size(1 << 20)
+//!     .with_size_classes(SizeClassTable::new([32, 64, 256, 1024]))
+//!     .with_transfer_batch(4)
+//!     .with_quarantine(8)
+//!     .build();
+//! assert_eq!(cfg.heap_size(), 1 << 20);
+//! assert_eq!(cfg.size_classes().max_bytes(), 1024);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::buddy::DescentPolicy;
+use crate::pim_malloc::BackendKind;
+use crate::thread_cache::{CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};
+
+/// The validated, shared size-class geometry of one allocator: a
+/// strictly increasing list of power-of-two sub-block sizes, each at
+/// most half a [`CACHE_BLOCK_BYTES`] block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeClassTable {
+    classes: Vec<u32>,
+}
+
+impl SizeClassTable {
+    /// Builds a table from `classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, unsorted, contains a
+    /// non-power-of-two, or a class exceeds half the cache block.
+    pub fn new(classes: impl Into<Vec<u32>>) -> Self {
+        let classes = classes.into();
+        assert!(!classes.is_empty(), "need at least one size class");
+        let mut prev = 0;
+        for &c in &classes {
+            assert!(c.is_power_of_two(), "size class {c} not a power of two");
+            assert!(c > prev, "size classes must be strictly increasing");
+            assert!(
+                c <= CACHE_BLOCK_BYTES / 2,
+                "size class {c} too large for a {CACHE_BLOCK_BYTES} B block"
+            );
+            prev = c;
+        }
+        SizeClassTable { classes }
+    }
+
+    /// The paper's default geometry: powers of two from 16 B to 2 KB.
+    pub fn paper_default() -> Self {
+        SizeClassTable::new(DEFAULT_SIZE_CLASSES)
+    }
+
+    /// The class sizes, smallest first.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+
+    /// Number of size classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Always false — the constructor rejects empty tables; provided
+    /// for clippy's `len_without_is_empty` contract.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Index of the smallest class that fits `size`, or `None` if the
+    /// request must bypass the caches.
+    pub fn class_for(&self, size: u32) -> Option<usize> {
+        if size == 0 {
+            return None;
+        }
+        self.classes.iter().position(|&c| c >= size)
+    }
+
+    /// Sub-block size of class `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn class_bytes(&self, idx: usize) -> u32 {
+        self.classes[idx]
+    }
+
+    /// Largest size the caches can serve; bigger requests bypass.
+    pub fn max_bytes(&self) -> u32 {
+        *self.classes.last().expect("nonempty")
+    }
+}
+
+/// Which free-path hierarchy the allocator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierPolicy {
+    /// Thread caches over the buddy backend only. Cross-tasklet frees
+    /// mutate the owner's private cache under the global backend lock
+    /// — the pre-middle-tier design, kept reachable for differential
+    /// testing.
+    TwoTier,
+    /// Thread caches, per-size-class transfer cache, and central free
+    /// list over the buddy backend. Cross-tasklet frees are staged in
+    /// the transfer cache in batches (one MRAM round-trip per
+    /// `transfer_batch` objects) instead of taking the global lock.
+    ThreeTier,
+}
+
+/// Middle-tier configuration: policy plus the transfer-cache shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierConfig {
+    /// Two-tier (global-lock remote frees) or three-tier (default).
+    pub policy: TierPolicy,
+    /// Objects moved per simulated MRAM round-trip through the
+    /// transfer cache.
+    pub transfer_batch: u32,
+    /// Per-class transfer-cache capacity in objects; overflow demotes
+    /// the oldest batch to the central free list.
+    pub transfer_cap: u32,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            policy: TierPolicy::ThreeTier,
+            transfer_batch: 8,
+            transfer_cap: 64,
+        }
+    }
+}
+
+/// Immutable configuration of a [`crate::PimMalloc`] instance (one per
+/// DPU). Built by [`AllocGeometry`]; read through getters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PimMallocConfig {
+    pub(crate) heap_base: u32,
+    pub(crate) heap_size: u32,
+    pub(crate) meta_base: u32,
+    pub(crate) backend_min_block: u32,
+    pub(crate) size_classes: SizeClassTable,
+    pub(crate) n_tasklets: usize,
+    pub(crate) backend: BackendKind,
+    pub(crate) prepopulate: bool,
+    pub(crate) descent: DescentPolicy,
+    pub(crate) quarantine_after: Option<u32>,
+    pub(crate) tier: TierConfig,
+}
+
+impl PimMallocConfig {
+    /// First address of the heap region in MRAM.
+    pub fn heap_base(&self) -> u32 {
+        self.heap_base
+    }
+
+    /// Heap capacity in bytes.
+    pub fn heap_size(&self) -> u32 {
+        self.heap_size
+    }
+
+    /// MRAM address of the backend's metadata array.
+    pub fn meta_base(&self) -> u32 {
+        self.meta_base
+    }
+
+    /// The shared size-class geometry.
+    pub fn size_classes(&self) -> &SizeClassTable {
+        &self.size_classes
+    }
+
+    /// Number of tasklets (thread caches) provisioned.
+    pub fn n_tasklets(&self) -> usize {
+        self.n_tasklets
+    }
+
+    /// Metadata store of the backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Whether init pre-populates every thread-cache pool.
+    pub fn prepopulate(&self) -> bool {
+        self.prepopulate
+    }
+
+    /// Invalid frees tolerated before self-quarantine.
+    pub fn quarantine_after(&self) -> Option<u32> {
+        self.quarantine_after
+    }
+
+    /// The middle-tier configuration.
+    pub fn tier(&self) -> TierConfig {
+        self.tier
+    }
+}
+
+/// Fluent builder for [`PimMallocConfig`], mirroring
+/// `pim_sim::SimContextBuilder`: preset entry points, `with_*`
+/// overrides, terminal [`AllocGeometry::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocGeometry {
+    cfg: PimMallocConfig,
+}
+
+impl AllocGeometry {
+    /// The paper's PIM-malloc-SW preset for `n_tasklets`: 32 MB heap,
+    /// coarse 2 KB software metadata window, eager pre-population,
+    /// three-tier free path.
+    pub fn sw(n_tasklets: usize) -> Self {
+        AllocGeometry {
+            cfg: PimMallocConfig {
+                heap_base: 0x0200_0000,
+                heap_size: 32 << 20,
+                meta_base: 0x0100_0000,
+                backend_min_block: CACHE_BLOCK_BYTES,
+                size_classes: SizeClassTable::paper_default(),
+                n_tasklets,
+                backend: BackendKind::Coarse { buffer_bytes: 2048 },
+                prepopulate: true,
+                descent: DescentPolicy::FullMarks,
+                quarantine_after: None,
+                tier: TierConfig::default(),
+            },
+        }
+    }
+
+    /// The paper's PIM-malloc-HW/SW preset: as [`AllocGeometry::sw`]
+    /// with the backend metadata served by the hardware buddy cache.
+    pub fn hw_sw(n_tasklets: usize) -> Self {
+        AllocGeometry::sw(n_tasklets).with_backend(BackendKind::HwCache {
+            cache: pim_sim::BuddyCacheConfig::default(),
+        })
+    }
+
+    /// Overrides the heap base address.
+    pub fn with_heap_base(mut self, addr: u32) -> Self {
+        self.cfg.heap_base = addr;
+        self
+    }
+
+    /// Overrides the heap size.
+    pub fn with_heap_size(mut self, bytes: u32) -> Self {
+        self.cfg.heap_size = bytes;
+        self
+    }
+
+    /// Overrides the backend metadata base address.
+    pub fn with_meta_base(mut self, addr: u32) -> Self {
+        self.cfg.meta_base = addr;
+        self
+    }
+
+    /// Replaces the size-class table shared by the thread caches, the
+    /// transfer cache, and the central free list.
+    pub fn with_size_classes(mut self, table: SizeClassTable) -> Self {
+        self.cfg.size_classes = table;
+        self
+    }
+
+    /// Selects the backend metadata store.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Overrides the backend descent policy (ablation hook).
+    pub fn with_descent(mut self, descent: DescentPolicy) -> Self {
+        self.cfg.descent = descent;
+        self
+    }
+
+    /// Disables thread-cache pre-population (PIM-malloc-lazy,
+    /// Table III).
+    pub fn lazy(mut self) -> Self {
+        self.cfg.prepopulate = false;
+        self
+    }
+
+    /// Quarantines the allocator after `n` invalid frees (fault
+    /// hardening for hostile or corrupted callers).
+    pub fn with_quarantine(mut self, n: u32) -> Self {
+        self.cfg.quarantine_after = Some(n);
+        self
+    }
+
+    /// Objects per simulated MRAM round-trip through the transfer
+    /// cache (default 8).
+    pub fn with_transfer_batch(mut self, objects: u32) -> Self {
+        self.cfg.tier.transfer_batch = objects;
+        self
+    }
+
+    /// Per-class transfer-cache capacity in objects (default 64);
+    /// overflow demotes the oldest batch to the central free list.
+    pub fn with_cache_caps(mut self, transfer_cap: u32) -> Self {
+        self.cfg.tier.transfer_cap = transfer_cap;
+        self
+    }
+
+    /// Selects the free-path hierarchy (default
+    /// [`TierPolicy::ThreeTier`]).
+    pub fn with_tiering(mut self, policy: TierPolicy) -> Self {
+        self.cfg.tier.policy = policy;
+        self
+    }
+
+    /// Shorthand for `with_tiering(TierPolicy::TwoTier)` — the
+    /// pre-middle-tier free path, kept for differential testing.
+    pub fn two_tier(self) -> Self {
+        self.with_tiering(TierPolicy::TwoTier)
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry: zero or non-power-of-two heap
+    /// size, heap base not aligned to the cache block, a transfer
+    /// batch of zero, or a transfer cap smaller than one batch.
+    pub fn build(self) -> PimMallocConfig {
+        let cfg = self.cfg;
+        assert!(
+            cfg.heap_size.is_power_of_two(),
+            "heap size {} not a power of two",
+            cfg.heap_size
+        );
+        assert_eq!(
+            cfg.heap_base % CACHE_BLOCK_BYTES,
+            0,
+            "heap base must be cache-block aligned"
+        );
+        assert!(cfg.tier.transfer_batch >= 1, "transfer batch must be >= 1");
+        assert!(
+            cfg.tier.transfer_cap >= cfg.tier.transfer_batch,
+            "transfer cap ({}) must hold at least one batch ({})",
+            cfg.tier.transfer_cap,
+            cfg.tier.transfer_batch
+        );
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lookup_rounds_up() {
+        let t = SizeClassTable::paper_default();
+        assert_eq!(t.class_for(1), Some(0)); // 16 B
+        assert_eq!(t.class_for(16), Some(0));
+        assert_eq!(t.class_for(17), Some(1)); // 32 B
+        assert_eq!(t.class_for(2048), Some(7));
+        assert_eq!(t.class_for(2049), None); // bypass
+        assert_eq!(t.class_for(0), None);
+        assert_eq!(t.max_bytes(), 2048);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_classes_rejected() {
+        SizeClassTable::new([32, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_rejected() {
+        SizeClassTable::new([24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn class_larger_than_half_block_rejected() {
+        SizeClassTable::new([4096]);
+    }
+
+    #[test]
+    fn presets_match_the_paper() {
+        let sw = AllocGeometry::sw(16).build();
+        assert_eq!(sw.heap_size(), 32 << 20);
+        assert_eq!(sw.n_tasklets(), 16);
+        assert_eq!(sw.size_classes().classes(), DEFAULT_SIZE_CLASSES);
+        assert!(sw.prepopulate());
+        assert!(matches!(sw.backend(), BackendKind::Coarse { .. }));
+        assert_eq!(sw.tier().policy, TierPolicy::ThreeTier);
+        let hw = AllocGeometry::hw_sw(16).build();
+        assert!(matches!(hw.backend(), BackendKind::HwCache { .. }));
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let cfg = AllocGeometry::sw(4)
+            .with_heap_size(1 << 20)
+            .with_heap_base(0x0040_0000)
+            .with_meta_base(0x0030_0000)
+            .with_size_classes(SizeClassTable::new([64, 512]))
+            .with_transfer_batch(4)
+            .with_cache_caps(16)
+            .with_quarantine(3)
+            .lazy()
+            .build();
+        assert_eq!(cfg.heap_size(), 1 << 20);
+        assert_eq!(cfg.heap_base(), 0x0040_0000);
+        assert_eq!(cfg.meta_base(), 0x0030_0000);
+        assert_eq!(cfg.size_classes().classes(), [64, 512]);
+        assert_eq!(cfg.tier().transfer_batch, 4);
+        assert_eq!(cfg.tier().transfer_cap, 16);
+        assert_eq!(cfg.quarantine_after(), Some(3));
+        assert!(!cfg.prepopulate());
+    }
+
+    #[test]
+    fn two_tier_is_config_reachable() {
+        let cfg = AllocGeometry::sw(2).two_tier().build();
+        assert_eq!(cfg.tier().policy, TierPolicy::TwoTier);
+    }
+
+    #[test]
+    #[should_panic(expected = "must hold at least one batch")]
+    fn cap_below_batch_rejected() {
+        AllocGeometry::sw(1)
+            .with_transfer_batch(16)
+            .with_cache_caps(8)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_heap_rejected() {
+        AllocGeometry::sw(1)
+            .with_heap_size((1 << 20) + 4096)
+            .build();
+    }
+}

@@ -17,13 +17,23 @@
 //!   metadata served by a per-core hardware buddy cache (a 16-entry
 //!   CAM with LRU replacement and 1-cycle access).
 //!
+//! ## Three tiers
+//!
+//! By default [`PimMalloc`] runs three tiers: cross-tasklet frees are
+//! staged per size class in the [`TransferCache`] (one simulated MRAM
+//! round-trip per batch of pointers), overflow demotes to the
+//! span-accounted [`CentralFreeList`], and fully-free spans return to
+//! the buddy backend. The legacy two-tier hierarchy — remote frees walk
+//! the owner's cache under the global backend lock — stays reachable
+//! via [`AllocGeometry::two_tier`].
+//!
 //! ## Error paths and quarantine
 //!
 //! Every hostile operation — zero/oversized sizes, frees of addresses
 //! the [`RegionMap`] never issued, double frees — returns an
 //! [`AllocError`] instead of panicking or corrupting the frame table
-//! (property-tested in `tests/alloc_error_paths.rs`). A
-//! [`PimMallocConfig::with_quarantine`] budget hardens this further:
+//! (property-tested in `tests/alloc_error_paths.rs`). An
+//! [`AllocGeometry::with_quarantine`] budget hardens this further:
 //! past `n` invalid frees the allocator *seals itself* and refuses
 //! all subsequent operations with [`AllocError::Quarantined`], on the
 //! theory that a caller issuing garbage frees can no longer be
@@ -31,13 +41,16 @@
 //!
 //! ## Quick example
 //!
+//! Allocator geometry is described with the [`AllocGeometry`] builder
+//! (`sw`/`hw_sw` presets plus `with_*` refinements):
+//!
 //! ```
-//! use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
+//! use pim_malloc::{AllocGeometry, PimAllocator, PimMalloc};
 //! use pim_sim::{DpuConfig, DpuSim};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
-//! let mut alloc = PimMalloc::init(&mut dpu, PimMallocConfig::sw(16))?;
+//! let mut alloc = PimMalloc::init(&mut dpu, AllocGeometry::sw(16).build())?;
 //! let mut ctx = dpu.ctx(0);
 //! let ptr = alloc.pim_malloc(&mut ctx, 256)?;
 //! alloc.pim_free(&mut ctx, ptr)?;
@@ -50,22 +63,30 @@
 
 pub mod api;
 pub mod buddy;
+pub mod central_free_list;
 pub mod error;
 pub mod frag;
+pub mod geometry;
 pub mod metadata;
 pub mod pim_malloc;
 pub mod region_map;
+pub mod span;
 pub mod stats;
 pub mod straw_man;
 pub mod thread_cache;
+pub mod transfer_cache;
 
 pub use api::PimAllocator;
 pub use buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
+pub use central_free_list::CentralFreeList;
 pub use error::{AllocError, InitError};
 pub use frag::FragTracker;
+pub use geometry::{AllocGeometry, PimMallocConfig, SizeClassTable, TierConfig, TierPolicy};
 pub use metadata::{MetaStats, MetadataStore, NodeState};
-pub use pim_malloc::{BackendKind, PimMalloc, PimMallocConfig};
+pub use pim_malloc::{BackendKind, PimMalloc};
 pub use region_map::{FreeRoute, RegionMap};
+pub use span::{Span, SpanRegistry};
 pub use stats::{AllocStats, ServiceSite};
 pub use straw_man::{StrawManAllocator, StrawManConfig};
 pub use thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};
+pub use transfer_cache::{PushEffect, TransferCache};

@@ -1,4 +1,5 @@
-//! PIM-malloc: the hierarchical allocator (§IV of the paper).
+//! PIM-malloc: the hierarchical allocator (§IV of the paper), grown
+//! to three tiers.
 //!
 //! [`PimMalloc`] combines per-tasklet [`ThreadCache`] frontends with a
 //! mutex-protected backend [`BuddyAllocator`] whose tree is truncated
@@ -6,6 +7,15 @@
 //! depth 20). Requests up to the largest size class (2 KB) are served
 //! lock-free from the calling tasklet's cache; larger requests bypass
 //! to the backend (Figure 10).
+//!
+//! Between the thread caches and the buddy heap sits the middle tier
+//! (default; see [`TierPolicy`]): cross-tasklet frees are staged in
+//! the per-size-class [`TransferCache`] — one simulated MRAM
+//! round-trip per batch of pointers instead of a global-lock walk of
+//! the owner's cache — and overflow demotes to the span-accounted
+//! [`CentralFreeList`], which follows the canonical bitmaps in
+//! returning fully-free spans to the buddy backend. Freed blocks flow
+//! `ThreadCache → TransferCache → CentralFreeList → buddy`.
 //!
 //! The backend's metadata store selects between the paper's variants:
 //! a coarse software buffer (**PIM-malloc-SW**), the hardware buddy
@@ -15,13 +25,16 @@
 use pim_sim::{BuddyCacheConfig, BuddyCacheStats, DpuSim, MutexId, TaskletCtx};
 
 use crate::api::PimAllocator;
-use crate::buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
+use crate::buddy::{BuddyAllocator, BuddyGeometry, MetadataBackend};
+use crate::central_free_list::CentralFreeList;
 use crate::error::{AllocError, InitError};
 use crate::frag::FragTracker;
+use crate::geometry::{PimMallocConfig, SizeClassTable, TierPolicy};
 use crate::metadata::{MetaStats, MetadataStore};
 use crate::region_map::{FreeRoute, RegionMap};
 use crate::stats::{AllocStats, ServiceSite};
-use crate::thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};
+use crate::thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES};
+use crate::transfer_cache::TransferCache;
 
 /// Fixed instructions of `pim_malloc` entry (argument checks, size
 /// classification).
@@ -32,6 +45,19 @@ const FREE_ENTRY_INSTRS: u64 = 20;
 /// Bytes of the per-block header `pim_free` reads to learn the owning
 /// route (thread-cache class vs backend level) — one 8 B DMA beat.
 const BLOCK_HEADER_BYTES: u32 = 8;
+/// Instructions to stage one remote-freed pointer in the transfer
+/// ring (bounds check, tail append, index bump).
+const TRANSFER_PUSH_INSTRS: u64 = 12;
+/// Instructions to claim one staged pointer on the allocation side.
+const TRANSFER_POP_INSTRS: u64 = 10;
+/// Instructions to splice an overflowing batch out of the transfer
+/// ring and into the central free list's span accounting.
+const CENTRAL_DEMOTE_INSTRS: u64 = 40;
+/// Instructions to claim an object resident in the central free list
+/// (span lookup plus list unlink).
+const CENTRAL_TAKE_INSTRS: u64 = 25;
+/// Bytes per staged object pointer in a transfer batch.
+const TRANSFER_SLOT_BYTES: u32 = 8;
 
 /// Which metadata store the backend buddy allocator runs on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,86 +89,6 @@ pub enum BackendKind {
     },
 }
 
-/// Configuration of a [`PimMalloc`] instance (one per DPU).
-#[derive(Debug, Clone, PartialEq)]
-pub struct PimMallocConfig {
-    /// First address of the heap region in MRAM.
-    pub heap_base: u32,
-    /// Heap capacity in bytes (power of two; paper: 32 MB).
-    pub heap_size: u32,
-    /// MRAM address of the backend's metadata array.
-    pub meta_base: u32,
-    /// Backend block size = minimum buddy block (paper: 4 KB).
-    pub backend_min_block: u32,
-    /// Thread-cache size classes (paper: 16 B … 2 KB, powers of two).
-    pub size_classes: Vec<u32>,
-    /// Number of tasklets (thread caches) to provision.
-    pub n_tasklets: usize,
-    /// Metadata store of the backend.
-    pub backend: BackendKind,
-    /// Pre-populate every thread-cache pool with one free 4 KB block
-    /// during init (the paper's default; `false` = PIM-malloc-lazy).
-    pub prepopulate: bool,
-    /// Backend descent policy (ablation hook; paper default prunes
-    /// full subtrees).
-    pub descent: DescentPolicy,
-    /// Invalid frees tolerated before the allocator quarantines
-    /// itself: after this many rejected frees, heap metadata is
-    /// presumed corrupted and every subsequent operation returns
-    /// [`AllocError::Quarantined`] instead of risking silent damage.
-    /// `None` (the default) never quarantines — each invalid free is
-    /// rejected individually, as before.
-    pub quarantine_after: Option<u32>,
-}
-
-impl PimMallocConfig {
-    /// The paper's PIM-malloc-SW configuration for `n_tasklets`.
-    pub fn sw(n_tasklets: usize) -> Self {
-        PimMallocConfig {
-            heap_base: 0x0200_0000,
-            heap_size: 32 << 20,
-            meta_base: 0x0100_0000,
-            backend_min_block: CACHE_BLOCK_BYTES,
-            size_classes: DEFAULT_SIZE_CLASSES.to_vec(),
-            n_tasklets,
-            backend: BackendKind::Coarse { buffer_bytes: 2048 },
-            prepopulate: true,
-            descent: DescentPolicy::FullMarks,
-            quarantine_after: None,
-        }
-    }
-
-    /// The paper's PIM-malloc-HW/SW configuration for `n_tasklets`.
-    pub fn hw_sw(n_tasklets: usize) -> Self {
-        PimMallocConfig {
-            backend: BackendKind::HwCache {
-                cache: BuddyCacheConfig::default(),
-            },
-            ..Self::sw(n_tasklets)
-        }
-    }
-
-    /// Disables thread-cache pre-population (PIM-malloc-lazy,
-    /// Table III).
-    pub fn lazy(mut self) -> Self {
-        self.prepopulate = false;
-        self
-    }
-
-    /// Overrides the heap size.
-    pub fn with_heap_size(mut self, bytes: u32) -> Self {
-        self.heap_size = bytes;
-        self
-    }
-
-    /// Quarantines the allocator after `n` invalid frees (fault
-    /// hardening for hostile or corrupted callers).
-    pub fn with_quarantine(mut self, n: u32) -> Self {
-        self.quarantine_after = Some(n);
-        self
-    }
-}
-
 /// The hierarchical PIM-malloc allocator for one DPU.
 #[derive(Debug)]
 pub struct PimMalloc {
@@ -151,6 +97,17 @@ pub struct PimMalloc {
     backend_mutex: MutexId,
     /// O(1) frame-table routing for `pim_free` (see [`RegionMap`]).
     region: RegionMap,
+    /// The shared size-class geometry (also baked into every cache's
+    /// pools and both middle-tier structures).
+    classes: SizeClassTable,
+    /// Free-path hierarchy: two-tier (global-lock remote frees) or
+    /// three-tier (transfer cache + central free list).
+    tier: TierPolicy,
+    /// Middle tier, stage 1: per-class batched staging of remote
+    /// frees.
+    transfer: TransferCache,
+    /// Middle tier, stage 2: span-accounted central circulation.
+    central: CentralFreeList,
     stats: AllocStats,
     frag: FragTracker,
     init_end: pim_sim::Cycles,
@@ -251,6 +208,10 @@ impl PimMalloc {
                 backend,
                 backend_mutex,
                 region: RegionMap::new(config.heap_base, config.heap_size, CACHE_BLOCK_BYTES),
+                classes: config.size_classes.clone(),
+                tier: config.tier.policy,
+                transfer: TransferCache::new(&config.size_classes, config.tier),
+                central: CentralFreeList::new(&config.size_classes),
                 stats: AllocStats::default(),
                 frag: FragTracker::new(),
                 init_end: pim_sim::Cycles::ZERO,
@@ -271,7 +232,7 @@ impl PimMalloc {
                         base,
                         tid,
                         class_idx,
-                        config.size_classes[class_idx],
+                        config.size_classes.class_bytes(class_idx),
                     );
                     this.caches[tid].add_block(&mut ctx, class_idx, base);
                 }
@@ -315,6 +276,26 @@ impl PimMalloc {
         &self.caches
     }
 
+    /// The shared size-class geometry.
+    pub fn size_classes(&self) -> &SizeClassTable {
+        &self.classes
+    }
+
+    /// The free-path hierarchy this instance runs.
+    pub fn tier(&self) -> TierPolicy {
+        self.tier
+    }
+
+    /// The middle tier's transfer cache (read-only).
+    pub fn transfer_cache(&self) -> &TransferCache {
+        &self.transfer
+    }
+
+    /// The middle tier's central free list (read-only).
+    pub fn central_free_list(&self) -> &CentralFreeList {
+        &self.central
+    }
+
     /// Tasklet-0 time when `init` finished (initialization cost).
     pub fn init_end(&self) -> pim_sim::Cycles {
         self.init_end
@@ -349,6 +330,55 @@ impl PimMalloc {
         ctx.mutex_unlock(self.backend_mutex);
         result
     }
+
+    /// Classifies a thread-cache hit at `addr`: if the sub-block was
+    /// staged by a remote free, consume its middle-tier entry and
+    /// charge the batched claim cost. Plain hits (the only kind in
+    /// workloads without cross-tasklet frees) check the host-side
+    /// overlay only and charge nothing extra.
+    fn consume_staged(
+        &mut self,
+        ctx: &mut TaskletCtx<'_>,
+        class_idx: usize,
+        addr: u32,
+    ) -> ServiceSite {
+        if self.tier != TierPolicy::ThreeTier {
+            return ServiceSite::FrontendHit;
+        }
+        if let Some(batch_boundary) = self.transfer.take(class_idx, addr) {
+            ctx.instrs(TRANSFER_POP_INSTRS);
+            if batch_boundary {
+                // One MRAM read fetches the whole staged batch.
+                ctx.mram_read(addr, TRANSFER_SLOT_BYTES * self.transfer.batch());
+            }
+            ServiceSite::TransferHit
+        } else if self.central.take(class_idx, addr) {
+            ctx.instrs(CENTRAL_TAKE_INSTRS);
+            ctx.mram_read(addr, TRANSFER_SLOT_BYTES);
+            ServiceSite::CentralHit
+        } else {
+            ServiceSite::FrontendHit
+        }
+    }
+
+    /// Returns a drained cache block to the buddy backend, retiring
+    /// any middle-tier state that still pointed into it. The purge is
+    /// host-side bookkeeping (the canonical bitmap already proved the
+    /// block free); the buddy return itself is priced as usual.
+    fn release_block(
+        &mut self,
+        ctx: &mut TaskletCtx<'_>,
+        block_base: u32,
+    ) -> Result<(), AllocError> {
+        self.transfer.purge_block(block_base);
+        if self.central.purge_block(block_base).is_some() {
+            self.stats.spans_returned += 1;
+        }
+        self.region.release_cache_block(block_base);
+        self.backend_free(ctx, block_base)?;
+        self.frag.on_release(u64::from(CACHE_BLOCK_BYTES));
+        Ok(())
+    }
 }
 
 impl PimAllocator for PimMalloc {
@@ -365,16 +395,18 @@ impl PimAllocator for PimMalloc {
             return Err(AllocError::InvalidSize { requested: size });
         }
         let tid = ctx.tid();
-        let (addr, site) = match self.caches[tid].class_for(size) {
+        let (addr, site) = match self.classes.class_for(size) {
             Some(class_idx) => {
                 let (addr, site) = match self.caches[tid].alloc(ctx, class_idx) {
-                    // Case 1: thread cache hit.
-                    Some(addr) => (addr, ServiceSite::FrontendHit),
+                    // Case 1: thread cache hit. If the sub-block was
+                    // staged by a remote free, the hit also consumes
+                    // the middle-tier entry (priced per batch).
+                    Some(addr) => (addr, self.consume_staged(ctx, class_idx, addr)),
                     // Case 2: thread cache miss — refill from the backend.
                     None => {
                         let base = self.backend_alloc(ctx, CACHE_BLOCK_BYTES)?;
                         self.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
-                        let class_bytes = self.caches[tid].pools()[class_idx].class_bytes();
+                        let class_bytes = self.classes.class_bytes(class_idx);
                         self.region
                             .note_cache_block(base, tid, class_idx, class_bytes);
                         self.caches[tid].add_block(ctx, class_idx, base);
@@ -439,12 +471,56 @@ impl PimAllocator for PimMalloc {
                 class_idx,
                 requested,
             } => {
-                match self.caches[tid].free(ctx, class_idx, addr) {
+                let outcome = if tid != ctx.tid() {
+                    match self.tier {
+                        // Three-tier: update the owner's canonical
+                        // bitmap host-side (unpriced) and stage the
+                        // pointer in the transfer ring; the simulated
+                        // cost is a few WRAM instructions plus one
+                        // MRAM write per flushed batch.
+                        TierPolicy::ThreeTier => {
+                            let outcome = self.caches[tid].free_unpriced(class_idx, addr);
+                            ctx.instrs(TRANSFER_PUSH_INSTRS);
+                            if !matches!(outcome, FreeOutcome::BlockReleased { .. }) {
+                                let effect = self.transfer.push(class_idx, addr);
+                                if effect.flushed {
+                                    ctx.mram_write(
+                                        addr,
+                                        TRANSFER_SLOT_BYTES * self.transfer.batch(),
+                                    );
+                                    self.stats.transfer_flushes += 1;
+                                }
+                                if !effect.demoted.is_empty() {
+                                    ctx.instrs(CENTRAL_DEMOTE_INSTRS);
+                                    ctx.mram_write(
+                                        effect.demoted[0],
+                                        TRANSFER_SLOT_BYTES * effect.demoted.len() as u32,
+                                    );
+                                    self.central.demote(class_idx, &effect.demoted);
+                                    self.stats.central_demotes += 1;
+                                }
+                            }
+                            self.stats.frees_remote_transfer += 1;
+                            outcome
+                        }
+                        // Two-tier: walk the owner's private cache
+                        // under the global backend lock (the legacy
+                        // cross-tasklet path the middle tier replaces).
+                        TierPolicy::TwoTier => {
+                            ctx.mutex_lock(self.backend_mutex);
+                            let outcome = self.caches[tid].free(ctx, class_idx, addr);
+                            ctx.mutex_unlock(self.backend_mutex);
+                            self.stats.frees_remote_global += 1;
+                            outcome
+                        }
+                    }
+                } else {
+                    self.caches[tid].free(ctx, class_idx, addr)
+                };
+                match outcome {
                     FreeOutcome::Cached => self.stats.record_free(false),
                     FreeOutcome::BlockReleased { block_base } => {
-                        self.region.release_cache_block(block_base);
-                        self.backend_free(ctx, block_base)?;
-                        self.frag.on_release(u64::from(CACHE_BLOCK_BYTES));
+                        self.release_block(ctx, block_base)?;
                         self.stats.record_free(true);
                     }
                 }
@@ -472,24 +548,22 @@ impl PimAllocator for PimMalloc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geometry::AllocGeometry;
     use pim_sim::DpuConfig;
 
     fn dpu(tasklets: usize) -> DpuSim {
         DpuSim::new(DpuConfig::default().with_tasklets(tasklets))
     }
 
-    fn small_sw(tasklets: usize) -> PimMallocConfig {
+    fn small_sw(tasklets: usize) -> AllocGeometry {
         // A 1 MB heap keeps tests fast while preserving structure.
-        PimMallocConfig {
-            heap_size: 1 << 20,
-            ..PimMallocConfig::sw(tasklets)
-        }
+        AllocGeometry::sw(tasklets).with_heap_size(1 << 20)
     }
 
     #[test]
     fn init_prepopulates_every_pool() {
         let mut d = dpu(4);
-        let pm = PimMalloc::init(&mut d, small_sw(4)).unwrap();
+        let pm = PimMalloc::init(&mut d, small_sw(4).build()).unwrap();
         for cache in pm.caches() {
             for pool in cache.pools() {
                 assert_eq!(pool.block_count(), 1);
@@ -503,7 +577,7 @@ mod tests {
     #[test]
     fn lazy_init_reserves_nothing() {
         let mut d = dpu(4);
-        let pm = PimMalloc::init(&mut d, small_sw(4).lazy()).unwrap();
+        let pm = PimMalloc::init(&mut d, small_sw(4).lazy().build()).unwrap();
         assert_eq!(pm.frag().reserved_live(), 0);
         for cache in pm.caches() {
             assert!(cache.pools().iter().all(|p| p.block_count() == 0));
@@ -513,7 +587,7 @@ mod tests {
     #[test]
     fn small_allocation_hits_thread_cache() {
         let mut d = dpu(2);
-        let mut pm = PimMalloc::init(&mut d, small_sw(2)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(2).build()).unwrap();
         let mut ctx = d.ctx(1);
         let addr = pm.pim_malloc(&mut ctx, 128).unwrap();
         assert_eq!(pm.alloc_stats().frontend_hits, 1);
@@ -526,7 +600,7 @@ mod tests {
     #[test]
     fn cache_exhaustion_triggers_refill() {
         let mut d = dpu(1);
-        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(1).build()).unwrap();
         let mut ctx = d.ctx(0);
         // 2 KB class holds 2 sub-blocks per 4 KB block; the third
         // allocation forces a backend refill.
@@ -543,7 +617,7 @@ mod tests {
     #[test]
     fn big_allocation_bypasses_cache() {
         let mut d = dpu(1);
-        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(1).build()).unwrap();
         let mut ctx = d.ctx(0);
         let addr = pm.pim_malloc(&mut ctx, 8192).unwrap();
         assert_eq!(pm.alloc_stats().bypass, 1);
@@ -555,7 +629,7 @@ mod tests {
     #[test]
     fn frontend_hit_is_much_faster_than_refill_or_bypass() {
         let mut d = dpu(1);
-        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(1).build()).unwrap();
         let mut ctx = d.ctx(0);
         let t0 = ctx.now();
         pm.pim_malloc(&mut ctx, 64).unwrap();
@@ -572,7 +646,7 @@ mod tests {
     #[test]
     fn distinct_tasklets_get_distinct_memory_without_contention() {
         let mut d = dpu(16);
-        let mut pm = PimMalloc::init(&mut d, small_sw(16)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(16).build()).unwrap();
         let mut addrs = Vec::new();
         for tid in 0..16 {
             let mut ctx = d.ctx(tid);
@@ -593,7 +667,7 @@ mod tests {
     #[test]
     fn invalid_requests_are_rejected() {
         let mut d = dpu(1);
-        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(1).build()).unwrap();
         let mut ctx = d.ctx(0);
         assert!(matches!(
             pm.pim_malloc(&mut ctx, 0),
@@ -614,7 +688,7 @@ mod tests {
     #[test]
     fn quarantine_seals_after_the_invalid_free_budget() {
         let mut d = dpu(1);
-        let cfg = small_sw(1).with_quarantine(2);
+        let cfg = small_sw(1).with_quarantine(2).build();
         let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
         let mut ctx = d.ctx(0);
         let live = pm.pim_malloc(&mut ctx, 64).unwrap();
@@ -656,10 +730,8 @@ mod tests {
     #[test]
     fn heap_exhaustion_reports_oom() {
         let mut d = dpu(1);
-        let cfg = PimMallocConfig {
-            heap_size: 64 << 10, // 16 backend blocks
-            ..PimMallocConfig::sw(1)
-        };
+        // 64 KB heap: 16 backend blocks.
+        let cfg = AllocGeometry::sw(1).with_heap_size(64 << 10).build();
         let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
         let mut ctx = d.ctx(0);
         let mut count = 0;
@@ -677,10 +749,7 @@ mod tests {
     #[test]
     fn hwsw_variant_reports_cache_stats() {
         let mut d = dpu(1);
-        let cfg = PimMallocConfig {
-            heap_size: 1 << 20,
-            ..PimMallocConfig::hw_sw(1)
-        };
+        let cfg = AllocGeometry::hw_sw(1).with_heap_size(1 << 20).build();
         let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
         let mut ctx = d.ctx(0);
         for _ in 0..16 {
@@ -690,7 +759,7 @@ mod tests {
         assert!(stats.hits + stats.misses > 0);
         // The SW variant reports none.
         let mut d2 = dpu(1);
-        let pm2 = PimMalloc::init(&mut d2, small_sw(1)).unwrap();
+        let pm2 = PimMalloc::init(&mut d2, small_sw(1).build()).unwrap();
         assert!(pm2.buddy_cache_stats().is_none());
     }
 
@@ -699,7 +768,7 @@ mod tests {
         // Table III intuition: a workload that only ever touches one
         // size class leaves 7 of 8 pre-populated pools unused.
         let mut d = dpu(1);
-        let mut pm = PimMalloc::init(&mut d, small_sw(1)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(1).build()).unwrap();
         let mut ctx = d.ctx(0);
         for _ in 0..16 {
             pm.pim_malloc(&mut ctx, 256).unwrap();
@@ -707,7 +776,7 @@ mod tests {
         let eager = pm.frag().ratio();
 
         let mut d2 = dpu(1);
-        let mut pm2 = PimMalloc::init(&mut d2, small_sw(1).lazy()).unwrap();
+        let mut pm2 = PimMalloc::init(&mut d2, small_sw(1).lazy().build()).unwrap();
         let mut ctx2 = d2.ctx(0);
         for _ in 0..16 {
             pm2.pim_malloc(&mut ctx2, 256).unwrap();
@@ -723,12 +792,11 @@ mod tests {
     #[test]
     fn wram_budget_is_enforced() {
         let mut d = dpu(1);
-        let cfg = PimMallocConfig {
-            backend: BackendKind::Coarse {
+        let cfg = small_sw(1)
+            .with_backend(BackendKind::Coarse {
                 buffer_bytes: 128 << 10, // bigger than WRAM
-            },
-            ..small_sw(1)
-        };
+            })
+            .build();
         assert!(matches!(
             PimMalloc::init(&mut d, cfg),
             Err(InitError::Wram(_))
@@ -738,7 +806,7 @@ mod tests {
     #[test]
     fn alloc_free_cycle_preserves_backend_capacity() {
         let mut d = dpu(2);
-        let mut pm = PimMalloc::init(&mut d, small_sw(2)).unwrap();
+        let mut pm = PimMalloc::init(&mut d, small_sw(2).build()).unwrap();
         let free0 = pm.backend().free_bytes();
         for round in 0..3 {
             let mut addrs = Vec::new();
@@ -761,5 +829,76 @@ mod tests {
         assert_eq!(pm.live_allocations(), 0);
         assert_eq!(pm.frag().requested_live(), 0);
         pm.backend().check_invariants();
+    }
+
+    #[test]
+    fn remote_free_stages_in_the_transfer_cache() {
+        let mut d = dpu(2);
+        let mut pm = PimMalloc::init(&mut d, small_sw(2).build()).unwrap();
+        let addr = {
+            let mut ctx = d.ctx(0);
+            pm.pim_malloc(&mut ctx, 256).unwrap()
+        };
+        {
+            let mut ctx = d.ctx(1);
+            pm.pim_free(&mut ctx, addr).unwrap();
+        }
+        assert_eq!(pm.alloc_stats().frees_remote_transfer, 1);
+        assert_eq!(pm.alloc_stats().frees_remote_global, 0);
+        assert_eq!(pm.transfer_cache().staged_total(), 1);
+        // The owner's next allocation of that class reclaims the
+        // staged address through the transfer cache.
+        let mut ctx = d.ctx(0);
+        let again = pm.pim_malloc(&mut ctx, 256).unwrap();
+        assert_eq!(again, addr);
+        assert_eq!(pm.alloc_stats().transfer_hits, 1);
+        assert_eq!(pm.transfer_cache().staged_total(), 0);
+    }
+
+    #[test]
+    fn transfer_overflow_demotes_to_the_central_free_list() {
+        let mut d = dpu(2);
+        let cfg = small_sw(2)
+            .with_transfer_batch(2)
+            .with_cache_caps(2)
+            .build();
+        let mut pm = PimMalloc::init(&mut d, cfg).unwrap();
+        let addrs: Vec<u32> = {
+            let mut ctx = d.ctx(0);
+            (0..3)
+                .map(|_| pm.pim_malloc(&mut ctx, 256).unwrap())
+                .collect()
+        };
+        {
+            let mut ctx = d.ctx(1);
+            for &a in &addrs {
+                pm.pim_free(&mut ctx, a).unwrap();
+            }
+        }
+        // Cap 2: the third staged pointer overflowed the ring,
+        // demoting the oldest batch of 2 into central circulation.
+        assert_eq!(pm.alloc_stats().central_demotes, 1);
+        assert_eq!(pm.central_free_list().objects_total(), 2);
+        assert_eq!(pm.central_free_list().span_count(), 1);
+        // Reclaiming a demoted address is a central hit.
+        let mut ctx = d.ctx(0);
+        let again = pm.pim_malloc(&mut ctx, 256).unwrap();
+        assert_eq!(again, addrs[0]);
+        assert_eq!(pm.alloc_stats().central_hits, 1);
+    }
+
+    #[test]
+    fn two_tier_remote_frees_take_the_global_lock_path() {
+        let mut d = dpu(2);
+        let mut pm = PimMalloc::init(&mut d, small_sw(2).two_tier().build()).unwrap();
+        let addr = {
+            let mut ctx = d.ctx(0);
+            pm.pim_malloc(&mut ctx, 256).unwrap()
+        };
+        let mut ctx = d.ctx(1);
+        pm.pim_free(&mut ctx, addr).unwrap();
+        assert_eq!(pm.alloc_stats().frees_remote_global, 1);
+        assert_eq!(pm.alloc_stats().frees_remote_transfer, 0);
+        assert_eq!(pm.transfer_cache().staged_total(), 0);
     }
 }

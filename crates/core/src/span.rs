@@ -1,0 +1,129 @@
+//! Span accounting for the central free list.
+//!
+//! A *span* is one backend block (4 KB cache block) viewed from the
+//! middle tier: the central free list tracks, per span, how many of
+//! its objects currently sit in central circulation. Spans exist only
+//! while the middle tier holds objects from their block; when the
+//! owning thread cache drains the block and returns it to the buddy
+//! backend, the span is retired ([`SpanRegistry::retire`]) and its
+//! remaining middle-tier objects are discarded — the canonical
+//! bitmap/frame-table state, not the overlay, decides when a block is
+//! actually free.
+
+use std::collections::BTreeMap;
+
+use crate::thread_cache::CACHE_BLOCK_BYTES;
+
+/// Middle-tier accounting for one backend block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Base address of the 4 KB block.
+    pub base: u32,
+    /// Size class its sub-blocks belong to.
+    pub class_idx: usize,
+    /// Objects of this span currently held by the central free list.
+    pub central_objects: u32,
+}
+
+/// Deterministic (address-ordered) registry of live spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRegistry {
+    spans: BTreeMap<u32, Span>,
+}
+
+/// Base address of the cache block containing `addr`.
+pub fn block_base_of(addr: u32) -> u32 {
+    addr & !(CACHE_BLOCK_BYTES - 1)
+}
+
+impl SpanRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SpanRegistry::default()
+    }
+
+    /// Notes that one object of `addr`'s block entered central
+    /// circulation, creating the span on first contact.
+    pub fn note_object(&mut self, addr: u32, class_idx: usize) {
+        let base = block_base_of(addr);
+        let span = self.spans.entry(base).or_insert(Span {
+            base,
+            class_idx,
+            central_objects: 0,
+        });
+        debug_assert_eq!(span.class_idx, class_idx, "span class is stable");
+        span.central_objects += 1;
+    }
+
+    /// Notes that one object of `addr`'s block left central
+    /// circulation (claimed by an allocation). The span is dropped
+    /// once empty.
+    pub fn release_object(&mut self, addr: u32) {
+        let base = block_base_of(addr);
+        let span = self.spans.get_mut(&base).expect("object has a span");
+        span.central_objects -= 1;
+        if span.central_objects == 0 {
+            self.spans.remove(&base);
+        }
+    }
+
+    /// Retires the span at `base` (its block returned to the buddy
+    /// backend), returning it if it existed.
+    pub fn retire(&mut self, base: u32) -> Option<Span> {
+        self.spans.remove(&base)
+    }
+
+    /// Live spans (blocks with objects in central circulation).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no span is live.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The span covering `addr`, if live.
+    pub fn span_of(&self, addr: u32) -> Option<&Span> {
+        self.spans.get(&block_base_of(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_base_masks_low_bits() {
+        assert_eq!(block_base_of(0x1000), 0x1000);
+        assert_eq!(block_base_of(0x1FFF), 0x1000);
+        assert_eq!(block_base_of(0x2040), 0x2000);
+    }
+
+    #[test]
+    fn spans_are_created_counted_and_dropped() {
+        let mut r = SpanRegistry::new();
+        r.note_object(0x1010, 2);
+        r.note_object(0x1020, 2);
+        r.note_object(0x2000, 5);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.span_of(0x1FFF).unwrap().central_objects, 2);
+        r.release_object(0x1010);
+        assert_eq!(r.span_of(0x1000).unwrap().central_objects, 1);
+        r.release_object(0x1020);
+        assert!(r.span_of(0x1000).is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn retire_drops_the_whole_span() {
+        let mut r = SpanRegistry::new();
+        r.note_object(0x3008, 0);
+        r.note_object(0x3010, 0);
+        let s = r.retire(0x3000).expect("span existed");
+        assert_eq!(s.central_objects, 2);
+        assert_eq!(s.class_idx, 0);
+        assert!(r.is_empty());
+        assert!(r.retire(0x3000).is_none());
+    }
+}

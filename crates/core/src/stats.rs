@@ -15,6 +15,12 @@ pub enum ServiceSite {
     /// The request exceeded the largest size class and went directly
     /// to the backend (thread-cache bypass).
     Bypass,
+    /// Served from the thread cache via a sub-block staged in the
+    /// transfer cache by a remote free (three-tier only).
+    TransferHit,
+    /// Served from the thread cache via a sub-block resident in the
+    /// central free list (three-tier only).
+    CentralHit,
 }
 
 impl ServiceSite {
@@ -37,6 +43,22 @@ pub struct AllocStats {
     pub frees_frontend: u64,
     /// `pim_free` calls that reached the backend.
     pub frees_backend: u64,
+    /// Thread-cache hits that claimed a transfer-cache-staged address.
+    pub transfer_hits: u64,
+    /// Thread-cache hits that claimed a central-free-list address.
+    pub central_hits: u64,
+    /// Cross-tasklet frees staged in the transfer cache (three-tier).
+    pub frees_remote_transfer: u64,
+    /// Cross-tasklet frees that walked the owner's cache under the
+    /// global backend lock (two-tier).
+    pub frees_remote_global: u64,
+    /// Transfer-cache batches flushed (one MRAM write each).
+    pub transfer_flushes: u64,
+    /// Batches demoted from the transfer cache to the central list.
+    pub central_demotes: u64,
+    /// Fully-free spans retired from the central list back to the
+    /// buddy backend.
+    pub spans_returned: u64,
     /// Total `pim_malloc` latency of frontend-hit requests.
     pub cycles_frontend: Cycles,
     /// Total `pim_malloc` latency of backend-involved requests.
@@ -48,17 +70,23 @@ pub struct AllocStats {
 impl AllocStats {
     /// Total `pim_malloc` calls.
     pub fn total_mallocs(&self) -> u64 {
-        self.frontend_hits + self.frontend_refills + self.bypass
+        self.frontend_hits
+            + self.frontend_refills
+            + self.bypass
+            + self.transfer_hits
+            + self.central_hits
     }
 
     /// Fraction of `pim_malloc` calls serviced at the frontend without
-    /// touching the backend (Figure 11(a)).
+    /// touching the backend (Figure 11(a)). Transfer- and central-hit
+    /// requests count: they are thread-cache hits whose sub-block
+    /// happened to be staged in the middle tier.
     pub fn frontend_service_fraction(&self) -> f64 {
         let total = self.total_mallocs();
         if total == 0 {
             return 0.0;
         }
-        self.frontend_hits as f64 / total as f64
+        (self.frontend_hits + self.transfer_hits + self.central_hits) as f64 / total as f64
     }
 
     /// Fraction of aggregate `pim_malloc` latency attributable to
@@ -85,6 +113,14 @@ impl AllocStats {
             ServiceSite::Bypass => {
                 self.bypass += 1;
                 self.cycles_backend += latency;
+            }
+            ServiceSite::TransferHit => {
+                self.transfer_hits += 1;
+                self.cycles_frontend += latency;
+            }
+            ServiceSite::CentralHit => {
+                self.central_hits += 1;
+                self.cycles_frontend += latency;
             }
         }
         self.malloc_latencies.record(latency);
@@ -137,6 +173,22 @@ mod tests {
         assert!(!ServiceSite::FrontendHit.touches_backend());
         assert!(ServiceSite::FrontendRefill.touches_backend());
         assert!(ServiceSite::Bypass.touches_backend());
+        assert!(!ServiceSite::TransferHit.touches_backend());
+        assert!(!ServiceSite::CentralHit.touches_backend());
+    }
+
+    #[test]
+    fn middle_tier_hits_count_as_frontend_service() {
+        let mut s = AllocStats::default();
+        s.record_malloc(ServiceSite::FrontendHit, Cycles(10));
+        s.record_malloc(ServiceSite::TransferHit, Cycles(20));
+        s.record_malloc(ServiceSite::CentralHit, Cycles(30));
+        s.record_malloc(ServiceSite::Bypass, Cycles(400));
+        assert_eq!(s.total_mallocs(), 4);
+        assert_eq!(s.transfer_hits, 1);
+        assert_eq!(s.central_hits, 1);
+        assert!((s.frontend_service_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(s.cycles_frontend, Cycles(60));
     }
 
     #[test]

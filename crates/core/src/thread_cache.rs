@@ -11,6 +11,8 @@
 use pim_sim::TaskletCtx;
 use serde::{Deserialize, Serialize};
 
+use crate::geometry::SizeClassTable;
+
 /// The paper's default size classes: powers of two from 16 B to 2 KB.
 pub const DEFAULT_SIZE_CLASSES: [u32; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
 
@@ -112,26 +114,13 @@ pub struct ThreadCache {
 }
 
 impl ThreadCache {
-    /// Creates an empty cache with the given size classes (strictly
-    /// increasing powers of two, each dividing 4 KB).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the class list is empty or malformed.
-    pub fn new(size_classes: &[u32]) -> Self {
-        assert!(!size_classes.is_empty(), "need at least one size class");
-        let mut prev = 0;
-        for &c in size_classes {
-            assert!(c.is_power_of_two(), "size class {c} not a power of two");
-            assert!(c > prev, "size classes must be strictly increasing");
-            assert!(
-                c <= CACHE_BLOCK_BYTES / 2,
-                "size class {c} too large for a {CACHE_BLOCK_BYTES} B block"
-            );
-            prev = c;
-        }
+    /// Creates an empty cache over the shared size-class geometry
+    /// (class validation and `class_for` lookup live on
+    /// [`SizeClassTable`]).
+    pub fn new(size_classes: &SizeClassTable) -> Self {
         ThreadCache {
             pools: size_classes
+                .classes()
                 .iter()
                 .map(|&c| SizeClassPool::new(c))
                 .collect(),
@@ -141,20 +130,6 @@ impl ThreadCache {
     /// The pools, smallest class first.
     pub fn pools(&self) -> &[SizeClassPool] {
         &self.pools
-    }
-
-    /// Largest size the cache can serve; bigger requests must bypass.
-    pub fn max_class_bytes(&self) -> u32 {
-        self.pools.last().expect("nonempty").class_bytes
-    }
-
-    /// Index of the smallest class that fits `size`, or `None` if the
-    /// request must bypass the cache.
-    pub fn class_for(&self, size: u32) -> Option<usize> {
-        if size == 0 {
-            return None;
-        }
-        self.pools.iter().position(|p| p.class_bytes >= size)
     }
 
     /// WRAM bytes needed for one block's bitmap in every pool — the
@@ -225,17 +200,30 @@ impl ThreadCache {
     /// sub-block is already free (double free) — both are program bugs
     /// the shadow bookkeeping in [`crate::PimMalloc`] rules out.
     pub fn free(&mut self, ctx: &mut TaskletCtx<'_>, class_idx: usize, addr: u32) -> FreeOutcome {
-        ctx.instrs(REQUEST_INSTRS);
+        let (outcome, bi) = self.free_at(class_idx, addr);
+        ctx.instrs(REQUEST_INSTRS + BLOCK_SCAN_INSTRS * (bi as u64 + 1) + BIT_OP_INSTRS);
+        outcome
+    }
+
+    /// [`ThreadCache::free`] without charging the caller's tasklet:
+    /// the reconciliation step of a *remote* free routed through the
+    /// transfer cache, whose simulated cost is the batched MRAM
+    /// traffic priced by [`crate::PimMalloc`] — the freeing tasklet
+    /// never walks the owner's private structures.
+    pub fn free_unpriced(&mut self, class_idx: usize, addr: u32) -> FreeOutcome {
+        self.free_at(class_idx, addr).0
+    }
+
+    /// Shared mutation of both free variants; returns the outcome and
+    /// the index of the containing block (the charged variant's
+    /// scan-depth cost).
+    fn free_at(&mut self, class_idx: usize, addr: u32) -> (FreeOutcome, usize) {
         let pool = &mut self.pools[class_idx];
         let bi = pool
             .blocks
             .iter()
-            .position(|b| {
-                // Cost of walking the block list.
-                b.contains(addr)
-            })
+            .position(|b| b.contains(addr))
             .expect("freed address belongs to this pool");
-        ctx.instrs(BLOCK_SCAN_INSTRS * (bi as u64 + 1) + BIT_OP_INSTRS);
         let block = &mut pool.blocks[bi];
         let slot = (addr - block.base) / pool.class_bytes;
         let (wi, bit) = ((slot / 64) as usize, slot % 64);
@@ -247,14 +235,15 @@ impl ThreadCache {
         );
         block.bitmap[wi] |= 1u64 << bit;
         block.free_slots += 1;
-        if block.free_slots == block.slots && pool.blocks.len() > 1 {
+        let outcome = if block.free_slots == block.slots && pool.blocks.len() > 1 {
             let released = pool.blocks.remove(bi);
             FreeOutcome::BlockReleased {
                 block_base: released.base,
             }
         } else {
             FreeOutcome::Cached
-        }
+        };
+        (outcome, bi)
     }
 }
 
@@ -268,19 +257,15 @@ mod tests {
     }
 
     fn cache() -> ThreadCache {
-        ThreadCache::new(&DEFAULT_SIZE_CLASSES)
+        ThreadCache::new(&SizeClassTable::paper_default())
     }
 
     #[test]
-    fn class_lookup_rounds_up() {
+    fn pools_mirror_the_shared_table() {
         let c = cache();
-        assert_eq!(c.class_for(1), Some(0)); // 16 B
-        assert_eq!(c.class_for(16), Some(0));
-        assert_eq!(c.class_for(17), Some(1)); // 32 B
-        assert_eq!(c.class_for(2048), Some(7));
-        assert_eq!(c.class_for(2049), None); // bypass
-        assert_eq!(c.class_for(0), None);
-        assert_eq!(c.max_class_bytes(), 2048);
+        let table = SizeClassTable::paper_default();
+        let pool_classes: Vec<u32> = c.pools().iter().map(SizeClassPool::class_bytes).collect();
+        assert_eq!(pool_classes, table.classes());
     }
 
     #[test]
@@ -390,14 +375,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn unsorted_classes_rejected() {
-        ThreadCache::new(&[32, 16]);
-    }
-
-    #[test]
-    #[should_panic(expected = "too large")]
-    fn class_larger_than_half_block_rejected() {
-        ThreadCache::new(&[4096]);
+    fn unpriced_free_mutates_identically_but_charges_nothing() {
+        let mut d = dpu();
+        let mut priced = cache();
+        let mut unpriced = priced.clone();
+        let mut ctx = d.ctx(0);
+        priced.add_block(&mut ctx, 4, 0x1000);
+        unpriced.add_block(&mut ctx, 4, 0x1000);
+        let a = priced.alloc(&mut ctx, 4).unwrap();
+        assert_eq!(unpriced.alloc(&mut ctx, 4), Some(a));
+        let before = ctx.now();
+        assert_eq!(unpriced.free_unpriced(4, a), FreeOutcome::Cached);
+        assert_eq!(ctx.now(), before, "unpriced free charges no cycles");
+        priced.free(&mut ctx, 4, a);
+        assert!(ctx.now() > before, "priced free does charge");
+        // Identical post-state: the freed slot is reissued first by
+        // both variants.
+        assert_eq!(priced.alloc(&mut ctx, 4), Some(a));
+        assert_eq!(unpriced.alloc(&mut ctx, 4), Some(a));
     }
 }

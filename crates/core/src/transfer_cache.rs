@@ -1,0 +1,198 @@
+//! The per-size-class transfer cache — PIM-malloc's middle tier for
+//! cross-tasklet frees (tcmalloc's `TransferCache`, adapted to the
+//! PIM cost model).
+//!
+//! A tasklet freeing an object it does not own no longer walks the
+//! owner's private cache under the global backend lock. Instead it
+//! appends the pointer to the per-class transfer ring: a handful of
+//! WRAM instructions per object, plus **one** simulated MRAM
+//! round-trip per `batch` objects when the staged batch flushes. The
+//! owning tasklet reclaims staged objects on its next allocations of
+//! that class, again paying one batched MRAM read per `batch` objects
+//! claimed.
+//!
+//! The ring is bounded per class; overflow evicts the oldest full
+//! batch to the [`crate::CentralFreeList`]. The transfer cache is a
+//! *routing and pricing* layer: object liveness stays canonical in the
+//! thread-cache bitmaps and the frame table, so the two-tier and
+//! three-tier paths produce identical addresses by construction
+//! (property-tested in `tests/tier_differential.rs`), and a block
+//! release purges any staged pointers into the released block
+//! ([`TransferCache::purge_block`]).
+
+use std::collections::VecDeque;
+
+use crate::geometry::{SizeClassTable, TierConfig};
+use crate::span::block_base_of;
+
+/// What a [`TransferCache::push`] did beyond staging the pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushEffect {
+    /// The staged batch reached `transfer_batch` objects and flushed:
+    /// the caller owes one MRAM write of the batch.
+    pub flushed: bool,
+    /// The class ring exceeded its cap: these oldest objects were
+    /// evicted for demotion to the central free list.
+    pub demoted: Vec<u32>,
+}
+
+/// Per-class bounded FIFO of remote-freed object pointers.
+#[derive(Debug, Clone)]
+pub struct TransferCache {
+    batch: u32,
+    cap: u32,
+    rings: Vec<VecDeque<u32>>,
+    /// Pointers staged since the last flush charge, per class.
+    staged: Vec<u32>,
+    /// Pointers claimed since the last refill charge, per class.
+    claimed: Vec<u32>,
+}
+
+impl TransferCache {
+    /// Creates an empty transfer cache with one ring per size class.
+    pub fn new(classes: &SizeClassTable, tier: TierConfig) -> Self {
+        TransferCache {
+            batch: tier.transfer_batch,
+            cap: tier.transfer_cap,
+            rings: vec![VecDeque::new(); classes.len()],
+            staged: vec![0; classes.len()],
+            claimed: vec![0; classes.len()],
+        }
+    }
+
+    /// Objects moved per simulated MRAM round-trip.
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+
+    /// Stages a remote-freed pointer in class `class_idx`'s ring and
+    /// reports the pricing/demotion side effects.
+    pub fn push(&mut self, class_idx: usize, addr: u32) -> PushEffect {
+        let ring = &mut self.rings[class_idx];
+        ring.push_back(addr);
+        self.staged[class_idx] += 1;
+        let flushed = self.staged[class_idx] >= self.batch;
+        if flushed {
+            self.staged[class_idx] = 0;
+        }
+        let mut demoted = Vec::new();
+        if ring.len() > self.cap as usize {
+            for _ in 0..self.batch.min(ring.len() as u32) {
+                demoted.push(ring.pop_front().expect("ring nonempty"));
+            }
+        }
+        PushEffect { flushed, demoted }
+    }
+
+    /// Claims the staged pointer `addr` from class `class_idx` if
+    /// present. Returns whether it was staged, and — when it was —
+    /// whether this claim completes a batch (the caller owes one MRAM
+    /// read of the batch).
+    pub fn take(&mut self, class_idx: usize, addr: u32) -> Option<bool> {
+        let ring = &mut self.rings[class_idx];
+        let pos = ring.iter().position(|&a| a == addr)?;
+        ring.remove(pos);
+        self.claimed[class_idx] += 1;
+        let charge = self.claimed[class_idx] >= self.batch;
+        if charge {
+            self.claimed[class_idx] = 0;
+        }
+        Some(charge)
+    }
+
+    /// Discards every staged pointer into the cache block at `base`
+    /// (the block returned to the buddy backend), returning how many
+    /// were dropped. Host-side bookkeeping; no simulated cost.
+    pub fn purge_block(&mut self, base: u32) -> u32 {
+        let mut purged = 0;
+        for ring in &mut self.rings {
+            let before = ring.len();
+            ring.retain(|&a| block_base_of(a) != base);
+            purged += (before - ring.len()) as u32;
+        }
+        purged
+    }
+
+    /// Staged pointers in class `class_idx`.
+    pub fn staged_in_class(&self, class_idx: usize) -> usize {
+        self.rings[class_idx].len()
+    }
+
+    /// Staged pointers across all classes.
+    pub fn staged_total(&self) -> usize {
+        self.rings.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::TierConfig;
+
+    fn cache(batch: u32, cap: u32) -> TransferCache {
+        TransferCache::new(
+            &SizeClassTable::paper_default(),
+            TierConfig {
+                transfer_batch: batch,
+                transfer_cap: cap,
+                ..TierConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn every_batch_th_push_flushes() {
+        let mut t = cache(4, 64);
+        let mut flushes = 0;
+        for i in 0..12 {
+            let e = t.push(0, 0x1000 + i * 16);
+            assert!(e.demoted.is_empty());
+            if e.flushed {
+                flushes += 1;
+            }
+        }
+        assert_eq!(flushes, 3, "12 pushes at batch 4");
+        assert_eq!(t.staged_in_class(0), 12);
+        assert_eq!(t.staged_total(), 12);
+    }
+
+    #[test]
+    fn overflow_demotes_the_oldest_batch() {
+        let mut t = cache(4, 8);
+        for i in 0..8 {
+            assert!(t.push(2, 0x2000 + i * 64).demoted.is_empty());
+        }
+        let e = t.push(2, 0x2000 + 8 * 64);
+        assert_eq!(e.demoted, vec![0x2000, 0x2040, 0x2080, 0x20C0]);
+        assert_eq!(t.staged_in_class(2), 5);
+    }
+
+    #[test]
+    fn take_claims_specific_addresses_and_charges_per_batch() {
+        let mut t = cache(2, 64);
+        t.push(1, 0xA0);
+        t.push(1, 0xC0);
+        t.push(1, 0xE0);
+        assert_eq!(t.take(1, 0xC0), Some(false), "first claim: staged");
+        assert_eq!(
+            t.take(1, 0xA0),
+            Some(true),
+            "second claim completes a batch"
+        );
+        assert_eq!(t.take(1, 0xC0), None, "already claimed");
+        assert_eq!(t.take(0, 0xE0), None, "wrong class");
+        assert_eq!(t.staged_in_class(1), 1);
+    }
+
+    #[test]
+    fn purge_drops_only_the_released_block() {
+        let mut t = cache(4, 64);
+        t.push(0, 0x1010);
+        t.push(0, 0x1020);
+        t.push(3, 0x1080);
+        t.push(3, 0x2080);
+        assert_eq!(t.purge_block(0x1000), 3);
+        assert_eq!(t.staged_total(), 1);
+        assert_eq!(t.take(3, 0x2080), Some(false));
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use pim_malloc::{AllocError, PimAllocator, PimMalloc, PimMallocConfig, RegionMap};
+use pim_malloc::{AllocError, AllocGeometry, PimAllocator, PimMalloc, RegionMap};
 use pim_sim::{DpuConfig, DpuSim};
 use proptest::prelude::*;
 
@@ -18,12 +18,11 @@ const HEAP_SIZE: u32 = 1 << 20;
 
 fn fresh(tasklets: usize, quarantine: Option<u32>) -> (DpuSim, PimMalloc) {
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
-    let mut cfg = PimMallocConfig {
-        heap_size: HEAP_SIZE,
-        ..PimMallocConfig::sw(tasklets)
-    };
-    cfg.quarantine_after = quarantine;
-    let pm = PimMalloc::init(&mut dpu, cfg).expect("init");
+    let mut geom = AllocGeometry::sw(tasklets).with_heap_size(HEAP_SIZE);
+    if let Some(budget) = quarantine {
+        geom = geom.with_quarantine(budget);
+    }
+    let pm = PimMalloc::init(&mut dpu, geom.build()).expect("init");
     (dpu, pm)
 }
 

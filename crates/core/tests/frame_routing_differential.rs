@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use pim_malloc::{
-    AllocError, PimAllocator, PimMalloc, PimMallocConfig, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES,
+    AllocError, AllocGeometry, PimAllocator, PimMalloc, CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES,
 };
 use pim_sim::{DpuConfig, DpuSim};
 use proptest::prelude::*;
@@ -180,16 +180,13 @@ impl Oracle {
 
 fn run_differential(n_tasklets: usize, prepopulate: bool, ops: &[Op]) -> Result<(), TestCaseError> {
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(n_tasklets));
-    let base_cfg = PimMallocConfig {
-        heap_size: HEAP_SIZE,
-        ..PimMallocConfig::sw(n_tasklets)
-    };
+    let base_geom = AllocGeometry::sw(n_tasklets).with_heap_size(HEAP_SIZE);
     let cfg = if prepopulate {
-        base_cfg
+        base_geom.build()
     } else {
-        base_cfg.lazy()
+        base_geom.lazy().build()
     };
-    let heap_base = cfg.heap_base;
+    let heap_base = cfg.heap_base();
     let mut pm = PimMalloc::init(&mut dpu, cfg).unwrap();
     let mut oracle = Oracle::new(n_tasklets, prepopulate);
 
@@ -248,7 +245,12 @@ fn run_differential(n_tasklets: usize, prepopulate: bool, ops: &[Op]) -> Result<
         }
         // The frame table must agree with the oracle after every op.
         let s = pm.alloc_stats();
-        prop_assert_eq!(s.frontend_hits, oracle.hits);
+        // The middle tier re-classifies some cache hits as
+        // transfer/central hits; the oracle tracks their union.
+        prop_assert_eq!(
+            s.frontend_hits + s.transfer_hits + s.central_hits,
+            oracle.hits
+        );
         prop_assert_eq!(s.frontend_refills, oracle.refills);
         prop_assert_eq!(s.bypass, oracle.bypass);
         prop_assert_eq!(s.frees_frontend, oracle.frees_frontend);

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use pim_malloc::{AllocError, PimAllocator, PimMalloc, PimMallocConfig};
+use pim_malloc::{AllocError, AllocGeometry, PimAllocator, PimMalloc};
 use pim_sim::{DpuConfig, DpuSim};
 use proptest::prelude::*;
 
@@ -22,11 +22,8 @@ fn op_strategy(n_tasklets: usize, max_size: u32) -> impl Strategy<Value = Op> {
     ]
 }
 
-fn config(n_tasklets: usize, prepopulate: bool) -> PimMallocConfig {
-    let base = PimMallocConfig {
-        heap_size: 1 << 20,
-        ..PimMallocConfig::sw(n_tasklets)
-    };
+fn config(n_tasklets: usize, prepopulate: bool) -> AllocGeometry {
+    let base = AllocGeometry::sw(n_tasklets).with_heap_size(1 << 20);
     if prepopulate {
         base
     } else {
@@ -36,13 +33,13 @@ fn config(n_tasklets: usize, prepopulate: bool) -> PimMallocConfig {
 
 fn run(n_tasklets: usize, prepopulate: bool, hw: bool, ops: &[Op]) {
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(n_tasklets));
-    let mut cfg = config(n_tasklets, prepopulate);
+    let mut geom = config(n_tasklets, prepopulate);
     if hw {
-        cfg.backend = pim_malloc::BackendKind::HwCache {
+        geom = geom.with_backend(pim_malloc::BackendKind::HwCache {
             cache: pim_sim::BuddyCacheConfig::default(),
-        };
+        });
     }
-    let mut pm = PimMalloc::init(&mut dpu, cfg).unwrap();
+    let mut pm = PimMalloc::init(&mut dpu, geom.build()).unwrap();
     // Per-tasklet live allocations: addr -> occupied bytes (class size).
     let mut live: Vec<Vec<u32>> = vec![Vec::new(); n_tasklets];
     let mut spans: BTreeMap<u32, u32> = BTreeMap::new(); // addr -> occupied
@@ -137,13 +134,13 @@ proptest! {
     ) {
         let outcomes = |hw: bool| -> Vec<bool> {
             let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(4));
-            let mut cfg = config(4, true);
+            let mut geom = config(4, true);
             if hw {
-                cfg.backend = pim_malloc::BackendKind::HwCache {
+                geom = geom.with_backend(pim_malloc::BackendKind::HwCache {
                     cache: pim_sim::BuddyCacheConfig::default(),
-                };
+                });
             }
-            let mut pm = PimMalloc::init(&mut dpu, cfg).unwrap();
+            let mut pm = PimMalloc::init(&mut dpu, geom.build()).unwrap();
             let mut live: Vec<Vec<u32>> = vec![Vec::new(); 4];
             let mut out = Vec::new();
             for op in &ops {

@@ -49,7 +49,7 @@
 //!     ..ServeConfig::default()
 //! };
 //! let report = serve(&cfg, &classes, &|dpu, tasklets, heap| {
-//!     let cfg = pim_malloc::PimMallocConfig::sw(tasklets).with_heap_size(heap);
+//!     let cfg = pim_malloc::AllocGeometry::sw(tasklets).with_heap_size(heap).build();
 //!     Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
 //! });
 //! assert_eq!(report.admitted + report.dropped, 500);

@@ -117,7 +117,9 @@ mod tests {
     }
 
     fn sw_build(dpu: &mut DpuSim, tasklets: usize, heap: u32) -> Box<dyn PimAllocator> {
-        let cfg = pim_malloc::PimMallocConfig::sw(tasklets).with_heap_size(heap);
+        let cfg = pim_malloc::AllocGeometry::sw(tasklets)
+            .with_heap_size(heap)
+            .build();
         Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
     }
 

@@ -38,7 +38,7 @@
 //!     &trace,
 //!     &FleetConfig { n_dpus: 2, ..FleetConfig::default() },
 //!     |dpu| {
-//!         let cfg = pim_malloc::PimMallocConfig::sw(4);
+//!         let cfg = pim_malloc::AllocGeometry::sw(4).build();
 //!         Box::new(pim_malloc::PimMalloc::init(dpu, cfg).unwrap())
 //!     },
 //! );

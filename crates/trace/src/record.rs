@@ -149,12 +149,12 @@ impl<A: PimAllocator> PimAllocator for TraceRecorder<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pim_malloc::{PimMalloc, PimMallocConfig};
+    use pim_malloc::{AllocGeometry, PimMalloc};
     use pim_sim::{DpuConfig, DpuSim};
 
     fn setup(tasklets: usize) -> (DpuSim, TraceRecorder<PimMalloc>) {
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
-        let cfg = PimMallocConfig::sw(tasklets).with_heap_size(1 << 20);
+        let cfg = AllocGeometry::sw(tasklets).with_heap_size(1 << 20).build();
         let inner = PimMalloc::init(&mut dpu, cfg).expect("init");
         let rec = TraceRecorder::new(inner, "test", 1 << 20, tasklets);
         (dpu, rec)
@@ -209,7 +209,7 @@ mod tests {
         // identical clocks and addresses.
         let run = |record: bool| -> (Vec<u32>, Cycles) {
             let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(2));
-            let cfg = PimMallocConfig::sw(2).with_heap_size(1 << 20);
+            let cfg = AllocGeometry::sw(2).with_heap_size(1 << 20).build();
             let inner = PimMalloc::init(&mut dpu, cfg).expect("init");
             let mut plain: Box<dyn PimAllocator> = if record {
                 Box::new(TraceRecorder::new(inner, "t", 1 << 20, 2))

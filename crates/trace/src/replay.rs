@@ -313,7 +313,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pim_malloc::{PimMalloc, PimMallocConfig};
+    use pim_malloc::{AllocGeometry, PimMalloc};
     use pim_sim::ExecPolicy;
 
     fn dpu(tasklets: usize) -> DpuSim {
@@ -321,7 +321,7 @@ mod tests {
     }
 
     fn sw_alloc(dpu: &mut DpuSim, tasklets: usize, heap: u32) -> Box<dyn PimAllocator> {
-        let cfg = PimMallocConfig::sw(tasklets).with_heap_size(heap);
+        let cfg = AllocGeometry::sw(tasklets).with_heap_size(heap).build();
         Box::new(PimMalloc::init(dpu, cfg).expect("init"))
     }
 

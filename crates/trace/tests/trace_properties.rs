@@ -41,7 +41,9 @@ fn trace_strategy() -> impl Strategy<Value = AllocTrace> {
 }
 
 fn sw_build(dpu: &mut DpuSim) -> Box<dyn PimAllocator> {
-    let cfg = pim_malloc::PimMallocConfig::sw(N_TASKLETS).with_heap_size(1 << 20);
+    let cfg = pim_malloc::AllocGeometry::sw(N_TASKLETS)
+        .with_heap_size(1 << 20)
+        .build();
     Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
 }
 

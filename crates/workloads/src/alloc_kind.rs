@@ -1,7 +1,7 @@
 //! Selecting which allocator a workload runs on.
 
 use pim_malloc::{
-    BackendKind, PimAllocator, PimMalloc, PimMallocConfig, StrawManAllocator, StrawManConfig,
+    AllocGeometry, BackendKind, PimAllocator, PimMalloc, StrawManAllocator, StrawManConfig,
 };
 use pim_sim::{BuddyCacheConfig, DpuSim};
 use serde::{Deserialize, Serialize};
@@ -64,27 +64,34 @@ impl AllocatorKind {
                 Box::new(StrawManAllocator::init(dpu, cfg))
             }
             AllocatorKind::Sw => {
-                let cfg = PimMallocConfig::sw(n_tasklets).with_heap_size(heap_size);
+                let cfg = AllocGeometry::sw(n_tasklets)
+                    .with_heap_size(heap_size)
+                    .build();
                 Box::new(PimMalloc::init(dpu, cfg).expect("PIM-malloc-SW init"))
             }
             AllocatorKind::SwLazy => {
-                let cfg = PimMallocConfig::sw(n_tasklets)
+                let cfg = AllocGeometry::sw(n_tasklets)
                     .with_heap_size(heap_size)
-                    .lazy();
+                    .lazy()
+                    .build();
                 Box::new(PimMalloc::init(dpu, cfg).expect("PIM-malloc-lazy init"))
             }
             AllocatorKind::HwSw => {
-                let cfg = PimMallocConfig::hw_sw(n_tasklets).with_heap_size(heap_size);
+                let cfg = AllocGeometry::hw_sw(n_tasklets)
+                    .with_heap_size(heap_size)
+                    .build();
                 Box::new(PimMalloc::init(dpu, cfg).expect("PIM-malloc-HW/SW init"))
             }
             AllocatorKind::SwFineLru => {
-                let mut cfg = PimMallocConfig::sw(n_tasklets).with_heap_size(heap_size);
                 // Same 512 B of WRAM as a 2 KB coarse window would use
                 // per four granules: 64 granules of 8 B.
-                cfg.backend = BackendKind::FineLru {
-                    entries: 64,
-                    granule_bytes: 8,
-                };
+                let cfg = AllocGeometry::sw(n_tasklets)
+                    .with_heap_size(heap_size)
+                    .with_backend(BackendKind::FineLru {
+                        entries: 64,
+                        granule_bytes: 8,
+                    })
+                    .build();
                 Box::new(PimMalloc::init(dpu, cfg).expect("fine-LRU init"))
             }
         }
@@ -98,8 +105,10 @@ impl AllocatorKind {
         heap_size: u32,
         cache: BuddyCacheConfig,
     ) -> Box<dyn PimAllocator> {
-        let mut cfg = PimMallocConfig::hw_sw(n_tasklets).with_heap_size(heap_size);
-        cfg.backend = BackendKind::HwCache { cache };
+        let cfg = AllocGeometry::hw_sw(n_tasklets)
+            .with_heap_size(heap_size)
+            .with_backend(BackendKind::HwCache { cache })
+            .build();
         Box::new(PimMalloc::init(dpu, cfg).expect("HW/SW init"))
     }
 }

@@ -30,7 +30,9 @@ fn main() {
                  tasklets: usize,
                  heap: u32|
      -> Box<dyn pim_malloc::PimAllocator> {
-        let cfg = pim_malloc::PimMallocConfig::sw(tasklets).with_heap_size(heap);
+        let cfg = pim_malloc::AllocGeometry::sw(tasklets)
+            .with_heap_size(heap)
+            .build();
         Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
     };
     let base = ServeConfig {

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use pim_malloc::{PimAllocator, PimMalloc, PimMallocConfig};
+use pim_malloc::{AllocGeometry, PimAllocator, PimMalloc};
 use pim_sim::{DpuConfig, DpuSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // PIM-malloc-SW with the paper's defaults: 32 MB heap, 16 B..2 KB
     // size classes, a 4 KB-block buddy backend behind a 2 KB software
     // metadata window.
-    let mut alloc = PimMalloc::init(&mut dpu, PimMallocConfig::sw(16))?;
+    let mut alloc = PimMalloc::init(&mut dpu, AllocGeometry::sw(16).build())?;
     println!(
         "initAllocator finished at t = {:.1} us",
         alloc.init_end().as_micros(350)

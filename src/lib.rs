@@ -13,7 +13,15 @@
 //!   the degraded-capacity report section ([`FaultSummary`]).
 //! * The execution knobs those APIs take: [`ExecPolicy`],
 //!   [`HostBatching`], and the seeded [`FaultPlan`] fault schedule.
+//! * The allocator core: [`PimMalloc`] behind the [`AllocGeometry`]
+//!   builder (size classes via [`SizeClassTable`], free-path hierarchy
+//!   via [`TierPolicy`]/[`TierConfig`]), plus the [`PimAllocator`]
+//!   object-safe trait.
 
+pub use pim_malloc::{
+    AllocGeometry, AllocStats, BackendKind, PimAllocator, PimMalloc, PimMallocConfig,
+    SizeClassTable, TierConfig, TierPolicy,
+};
 pub use pim_serving::{
     estimated_capacity_rps, saturation_sweep, serve, ArrivalProcess, FaultSummary, LoadPoint,
     RequestClass, RetryPolicy, SaturationReport, ServeConfig, ServeReport,

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use pim_malloc::{AllocError, BackendKind, PimAllocator, PimMalloc, PimMallocConfig};
+use pim_malloc::{AllocError, AllocGeometry, BackendKind, PimAllocator, PimMalloc};
 use pim_sim::{BuddyCacheConfig, DpuConfig, DpuSim};
 use pim_workloads::AllocatorKind;
 
@@ -86,7 +86,7 @@ fn quarantine_contract_holds_through_the_dyn_interface() {
     // reported individually, the overrun seals the allocator, and a
     // sealed allocator refuses even valid traffic.
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
-    let cfg = PimMallocConfig::sw(1).with_quarantine(2);
+    let cfg = AllocGeometry::sw(1).with_quarantine(2).build();
     let mut alloc: Box<dyn PimAllocator> = Box::new(PimMalloc::init(&mut dpu, cfg).expect("init"));
     let mut ctx = dpu.ctx(0);
     let live = alloc.pim_malloc(&mut ctx, 128).unwrap();
@@ -204,10 +204,9 @@ fn every_backend_kind_constructs_on_default_sim() {
     ];
     for backend in backends {
         let mut dpu = DpuSim::new(DpuConfig::default());
-        let config = PimMallocConfig {
-            backend,
-            ..PimMallocConfig::sw(dpu.config().n_tasklets)
-        };
+        let config = AllocGeometry::sw(dpu.config().n_tasklets)
+            .with_backend(backend)
+            .build();
         let mut alloc = PimMalloc::init(&mut dpu, config)
             .unwrap_or_else(|e| panic!("{backend:?} failed to init: {e}"));
         let mut ctx = dpu.ctx(0);

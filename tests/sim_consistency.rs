@@ -76,10 +76,11 @@ fn wram_budget_is_shared_across_components() {
     let after = dpu.wram().available_bytes();
     assert_eq!(before - after, 2048, "straw-man reserves its 2 KB window");
     // An allocator demanding more WRAM than remains must fail cleanly.
-    let mut cfg = pim_malloc::PimMallocConfig::sw(16);
-    cfg.backend = pim_malloc::BackendKind::Coarse {
-        buffer_bytes: after.next_power_of_two(),
-    };
+    let cfg = pim_malloc::AllocGeometry::sw(16)
+        .with_backend(pim_malloc::BackendKind::Coarse {
+            buffer_bytes: after.next_power_of_two(),
+        })
+        .build();
     assert!(matches!(
         pim_malloc::PimMalloc::init(&mut dpu, cfg),
         Err(pim_malloc::InitError::Wram(_))
@@ -195,7 +196,9 @@ fn trace_fleet_at_512_dpus_is_engine_invariant() {
         ..SynthConfig::default()
     });
     let build = |dpu: &mut DpuSim| -> Box<dyn PimAllocator> {
-        let cfg = pim_malloc::PimMallocConfig::sw(4).with_heap_size(1 << 20);
+        let cfg = pim_malloc::AllocGeometry::sw(4)
+            .with_heap_size(1 << 20)
+            .build();
         Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
     };
     let fleet = |exec: ExecPolicy| {
