@@ -107,8 +107,8 @@ fn main() -> ExitCode {
     match target {
         "list" => {
             let width = figures::all_ids().map(str::len).max().unwrap_or(0);
-            for (id, description) in figures::CATALOG {
-                println!("{id:width$}  {description}");
+            for entry in &figures::CATALOG {
+                println!("{:width$}  {}", entry.id, entry.description);
             }
             ExitCode::SUCCESS
         }

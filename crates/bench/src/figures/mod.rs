@@ -18,6 +18,7 @@ mod overhead_figs;
 mod serve_figs;
 mod tier_figs;
 mod trace_figs;
+mod tune_figs;
 
 pub use batching_figs::host_batching;
 pub use chaos_figs::chaos_resilience;
@@ -30,6 +31,7 @@ pub use overhead_figs::{hw_overhead, metadata_overhead, table3};
 pub use serve_figs::serve_frontend;
 pub use tier_figs::tier_comparison;
 pub use trace_figs::{scenario_families, trace_artifact_files, trace_replay, TRACE_DEFAULT_SEED};
+pub use tune_figs::{geometry_tune, tune_families, Measured, TunedFamily};
 
 use crate::report::Experiment;
 
@@ -47,92 +49,142 @@ const SERVE_DEFAULT_SEED: u64 = 0x5E21;
 /// Fixed seed of the chaos experiment's fault plan + request stream.
 const CHAOS_DEFAULT_SEED: u64 = 0xC4A05;
 
-/// Every experiment id with a one-line description, in paper order
-/// (extensions last). `repro list` prints this catalogue.
-pub const CATALOG: [(&str, &str); 21] = [
-    (
-        "fig3c",
-        "graph-update slowdown vs pre-update graph size, static vs dynamic",
-    ),
-    (
-        "fig4b",
-        "maximum LLM batch size under static vs dynamic KV allocation",
-    ),
-    (
-        "fig6a",
-        "DSE: allocation latency vs PIM-core count, four strategies",
-    ),
-    ("fig6b", "DSE: latency breakdown at 512 PIM cores"),
-    (
-        "fig7",
-        "straw-man slowdown over heap size x (de)allocation size",
-    ),
-    (
-        "fig8",
-        "straw-man latency over a request sequence + cycle breakdown",
-    ),
-    (
-        "fig11",
-        "frontend service fraction and backend latency share",
-    ),
-    (
-        "fig15",
-        "average pim_malloc latency across the three allocator designs",
-    ),
-    (
-        "fig16",
-        "buddy-cache size sensitivity (speedup and hit rate)",
-    ),
-    (
-        "fig17",
-        "graph update: throughput, breakdown, alloc time, metadata traffic",
-    ),
-    (
-        "fig18",
-        "LLM serving throughput and TPOT percentiles across schemes",
-    ),
-    ("table3", "memory fragmentation A/U, eager vs lazy"),
-    (
-        "metadata-overhead",
-        "allocator metadata footprint per DPU",
-    ),
-    (
-        "hw-overhead",
-        "buddy-cache area / power / latency on a DRAM process",
-    ),
-    (
-        "ablations",
-        "fine-grained SW LRU and descent-policy ablations",
-    ),
-    (
-        "discussion",
-        "future-PIM projection and cache-granularity comparison",
-    ),
-    (
-        "host-batching",
-        "per-DPU vs rank-sharded host<->PIM transfer scheduling",
-    ),
-    (
-        "trace",
-        "allocation-trace subsystem: synthetic scenario families x allocators, record/replay fidelity",
-    ),
-    (
-        "serve",
-        "open-loop serving frontend: SLO tail latencies per arrival shape, drops, saturation knee",
-    ),
-    (
-        "chaos",
-        "resilience: self-healing serving under a fault plan + allocator fault injection",
-    ),
-    (
-        "tiers",
-        "free-path tiering: three-tier transfer cache vs two-tier global lock on producer-consumer",
-    ),
+/// One catalogue entry: an experiment id, its one-line description,
+/// and the generator that runs it. Keeping the runner *inside* the
+/// entry means listing and dispatch cannot drift apart — adding an
+/// experiment is one new entry, not an entry plus a match arm.
+pub struct CatalogEntry {
+    /// Short id used on the command line (`fig15`, `tune`, …).
+    pub id: &'static str,
+    /// One-line description `repro list` prints.
+    pub description: &'static str,
+    /// Runs the experiment: `(quick, seed override)` → experiments.
+    runner: fn(bool, Option<u64>) -> Vec<Experiment>,
+}
+
+/// Every experiment, in paper order (extensions last). `repro list`
+/// prints this catalogue; [`run`] dispatches through it.
+pub const CATALOG: [CatalogEntry; 22] = [
+    CatalogEntry {
+        id: "fig3c",
+        description: "graph-update slowdown vs pre-update graph size, static vs dynamic",
+        runner: |quick, seed| vec![fig3c(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "fig4b",
+        description: "maximum LLM batch size under static vs dynamic KV allocation",
+        runner: |quick, seed| vec![fig4b(quick, seed.unwrap_or(LLM_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "fig6a",
+        description: "DSE: allocation latency vs PIM-core count, four strategies",
+        runner: |quick, _| vec![fig6a(quick)],
+    },
+    CatalogEntry {
+        id: "fig6b",
+        description: "DSE: latency breakdown at 512 PIM cores",
+        runner: |quick, _| vec![fig6b(quick)],
+    },
+    CatalogEntry {
+        id: "fig7",
+        description: "straw-man slowdown over heap size x (de)allocation size",
+        runner: |quick, _| vec![fig7(quick)],
+    },
+    CatalogEntry {
+        id: "fig8",
+        description: "straw-man latency over a request sequence + cycle breakdown",
+        runner: |quick, _| vec![fig8(quick)],
+    },
+    CatalogEntry {
+        id: "fig11",
+        description: "frontend service fraction and backend latency share",
+        runner: |quick, seed| vec![fig11(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "fig15",
+        description: "average pim_malloc latency across the three allocator designs",
+        runner: |quick, _| vec![fig15(quick)],
+    },
+    CatalogEntry {
+        id: "fig16",
+        description: "buddy-cache size sensitivity (speedup and hit rate)",
+        runner: |quick, _| vec![fig16(quick)],
+    },
+    CatalogEntry {
+        id: "fig17",
+        description: "graph update: throughput, breakdown, alloc time, metadata traffic",
+        runner: |quick, seed| vec![fig17(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "fig18",
+        description: "LLM serving throughput and TPOT percentiles across schemes",
+        runner: |quick, _| vec![fig18(quick)],
+    },
+    CatalogEntry {
+        id: "table3",
+        description: "memory fragmentation A/U, eager vs lazy",
+        runner: |quick, _| vec![table3(quick)],
+    },
+    CatalogEntry {
+        id: "metadata-overhead",
+        description: "allocator metadata footprint per DPU",
+        runner: |_, _| vec![metadata_overhead()],
+    },
+    CatalogEntry {
+        id: "hw-overhead",
+        description: "buddy-cache area / power / latency on a DRAM process",
+        runner: |_, _| vec![hw_overhead()],
+    },
+    CatalogEntry {
+        id: "ablations",
+        description: "fine-grained SW LRU and descent-policy ablations",
+        runner: |quick, _| vec![ablation_swlru(quick), ablation_descent(quick)],
+    },
+    CatalogEntry {
+        id: "discussion",
+        description: "future-PIM projection and cache-granularity comparison",
+        runner: |quick, _| {
+            vec![
+                discussion_future_pim(quick),
+                discussion_cache_granularity(quick),
+            ]
+        },
+    },
+    CatalogEntry {
+        id: "host-batching",
+        description: "per-DPU vs rank-sharded host<->PIM transfer scheduling",
+        runner: |quick, _| vec![host_batching(quick)],
+    },
+    CatalogEntry {
+        id: "trace",
+        description: "allocation-trace subsystem: synthetic scenario families x allocators, record/replay fidelity",
+        runner: |quick, seed| vec![trace_replay(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "serve",
+        description: "open-loop serving frontend: SLO tail latencies per arrival shape, drops, saturation knee",
+        runner: |quick, seed| vec![serve_frontend(quick, seed.unwrap_or(SERVE_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "chaos",
+        description: "resilience: self-healing serving under a fault plan + allocator fault injection",
+        runner: |quick, seed| vec![chaos_resilience(quick, seed.unwrap_or(CHAOS_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "tiers",
+        description: "free-path tiering: three-tier transfer cache vs two-tier global lock on producer-consumer",
+        runner: |quick, seed| vec![tier_comparison(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
+    },
+    CatalogEntry {
+        id: "tune",
+        description: "profile-guided geometry: record -> synthesize -> replay, synthesized vs paper size classes",
+        runner: |quick, seed| vec![geometry_tune(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
+    },
 ];
 
 /// Every experiment id, in catalogue order.
 pub fn all_ids() -> impl Iterator<Item = &'static str> {
-    CATALOG.iter().map(|&(id, _)| id)
+    CATALOG.iter().map(|e| e.id)
 }
 
 /// True if `id` names a known experiment.
@@ -140,43 +192,21 @@ pub fn is_known(id: &str) -> bool {
     all_ids().any(|known| known == id)
 }
 
-/// Runs one experiment by id. `ablations` bundles the §IV-B fine-LRU
-/// ablation and the descent-policy ablation. `seed` overrides the
-/// stochastic experiments' workload seeds (LLM trace, graph generator,
-/// synthetic traces); `None` keeps each experiment's fixed default.
+/// Runs one experiment by id, dispatching through [`CATALOG`].
+/// `ablations` bundles the §IV-B fine-LRU ablation and the
+/// descent-policy ablation. `seed` overrides the stochastic
+/// experiments' workload seeds (LLM trace, graph generator, synthetic
+/// traces); `None` keeps each experiment's fixed default.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id; [`CATALOG`] lists the valid ones.
 pub fn run(id: &str, quick: bool, seed: Option<u64>) -> Vec<Experiment> {
-    match id {
-        "fig3c" => vec![fig3c(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
-        "fig4b" => vec![fig4b(quick, seed.unwrap_or(LLM_DEFAULT_SEED))],
-        "fig6a" => vec![fig6a(quick)],
-        "fig6b" => vec![fig6b(quick)],
-        "fig7" => vec![fig7(quick)],
-        "fig8" => vec![fig8(quick)],
-        "fig11" => vec![fig11(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
-        "fig15" => vec![fig15(quick)],
-        "fig16" => vec![fig16(quick)],
-        "fig17" => vec![fig17(quick, seed.unwrap_or(GRAPH_DEFAULT_SEED))],
-        "fig18" => vec![fig18(quick)],
-        "table3" => vec![table3(quick)],
-        "metadata-overhead" => vec![metadata_overhead()],
-        "hw-overhead" => vec![hw_overhead()],
-        "ablations" => vec![ablation_swlru(quick), ablation_descent(quick)],
-        "discussion" => vec![
-            discussion_future_pim(quick),
-            discussion_cache_granularity(quick),
-        ],
-        "host-batching" => vec![host_batching(quick)],
-        "trace" => vec![trace_replay(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
-        "serve" => vec![serve_frontend(quick, seed.unwrap_or(SERVE_DEFAULT_SEED))],
-        "chaos" => vec![chaos_resilience(quick, seed.unwrap_or(CHAOS_DEFAULT_SEED))],
-        "tiers" => vec![tier_comparison(quick, seed.unwrap_or(TRACE_DEFAULT_SEED))],
-        other => {
+    match CATALOG.iter().find(|e| e.id == id) {
+        Some(entry) => (entry.runner)(quick, seed),
+        None => {
             let ids: Vec<&str> = all_ids().collect();
-            panic!("unknown experiment id `{other}`; valid ids: {ids:?}")
+            panic!("unknown experiment id `{id}`; valid ids: {ids:?}")
         }
     }
 }
@@ -187,13 +217,40 @@ mod tests {
 
     #[test]
     fn every_listed_id_runs_in_quick_mode() {
-        for (id, description) in CATALOG {
-            assert!(!description.is_empty(), "{id} needs a description");
-            let out = run(id, true, None);
-            assert!(!out.is_empty(), "{id} produced no experiments");
+        for entry in &CATALOG {
+            assert!(
+                !entry.description.is_empty(),
+                "{} needs a description",
+                entry.id
+            );
+            let out = run(entry.id, true, None);
+            assert!(!out.is_empty(), "{} produced no experiments", entry.id);
             for e in out {
-                assert!(!e.rows.is_empty(), "{id} produced an empty table");
+                assert!(!e.rows.is_empty(), "{} produced an empty table", entry.id);
             }
+        }
+    }
+
+    #[test]
+    fn catalog_is_consistent() {
+        // Ids are unique and non-empty; lookup through `run` reaches
+        // every entry (the fn-pointer design makes a desync between
+        // the listing and the dispatcher impossible by construction,
+        // but unique ids still matter: a duplicate would shadow the
+        // later entry).
+        let ids: Vec<&str> = all_ids().collect();
+        assert_eq!(ids.len(), CATALOG.len());
+        for (i, id) in ids.iter().enumerate() {
+            assert!(!id.is_empty());
+            assert!(
+                !ids[..i].contains(id),
+                "duplicate experiment id `{id}` in CATALOG"
+            );
+            assert!(is_known(id));
+        }
+        // The extension experiments landed across PRs stay listed.
+        for required in ["trace", "serve", "chaos", "tiers", "tune"] {
+            assert!(is_known(required), "{required} missing from CATALOG");
         }
     }
 

@@ -1,0 +1,324 @@
+//! The profile-guided geometry-tuning experiment (extension beyond
+//! the paper): closes the record → synthesize → replay loop.
+//!
+//! For every synthetic scenario family, the experiment derives an
+//! allocation profile from the trace, synthesizes a custom size-class
+//! table under the default [`SynthesisObjective`], and replays the
+//! same trace under both the paper's fixed power-of-two geometry and
+//! the synthesized one — reporting *measured* fragmentation (A/U at
+//! peak), churn throughput, and WRAM bitmap footprint next to the
+//! synthesizer's *modeled* predictions. Two extra row groups verify
+//! the pipeline: a recorder-vs-pure fidelity check (profiling a live
+//! replay must observe the same histogram and counts as the pure
+//! trace walk), and the `pim-dse` objective-weight ladder showing the
+//! fragmentation/WRAM trade-off the objective exposes.
+
+use pim_malloc::{AllocGeometry, PimMalloc, SizeClassTable};
+use pim_profile::{
+    synthesize_table, wram_bitmap_bytes, AllocProfile, ProfileRecorder, Synthesis,
+    SynthesisObjective,
+};
+use pim_sim::{CostModel, DpuConfig, DpuSim};
+use pim_trace::{replay, replay_fleet, synthesize, AllocTrace, FleetConfig};
+
+use crate::figures::scenario_families;
+use crate::report::{Experiment, Row};
+
+/// Builds the paper-geometry or tuned-geometry allocator for `trace`.
+fn build_alloc(dpu: &mut DpuSim, trace: &AllocTrace, table: &SizeClassTable) -> PimMalloc {
+    let geom = AllocGeometry::sw(trace.n_tasklets)
+        .with_heap_size(trace.heap_size)
+        .with_size_classes(table.clone());
+    PimMalloc::init(dpu, geom.build()).expect("geometry fits the trace heap")
+}
+
+/// What one (trace, geometry) replay measures.
+pub struct Measured {
+    /// A/U at the memory-usage peak, from a single-DPU replay.
+    pub frag_peak_ratio: f64,
+    /// Successful mallocs per second of simulated kernel time, from
+    /// the parallel fleet replay (SPMD — every DPU runs the trace).
+    pub churn_ops_per_sec: f64,
+    /// Mean `pim_malloc` latency, microseconds.
+    pub mean_us: f64,
+    /// Out-of-memory events across the fleet.
+    pub oom: u64,
+}
+
+fn measure(trace: &AllocTrace, table: &SizeClassTable, quick: bool) -> Measured {
+    let mhz = CostModel::default().clock_mhz;
+    // Fragmentation comes from a local single-DPU replay — the fleet
+    // discards its allocators, and SPMD replicas are identical anyway.
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(trace.n_tasklets));
+    let mut alloc = build_alloc(&mut dpu, trace, table);
+    replay(&mut dpu, &mut alloc, trace);
+    let frag_peak_ratio = alloc.frag().peak_ratio();
+
+    let fleet_cfg = FleetConfig {
+        n_dpus: if quick { 2 } else { 8 },
+        ..FleetConfig::default()
+    };
+    let fleet = replay_fleet(trace, &fleet_cfg, |dpu| {
+        Box::new(build_alloc(dpu, trace, table))
+    });
+    let finish_secs = fleet.kernel_finish.as_secs(mhz);
+    Measured {
+        frag_peak_ratio,
+        churn_ops_per_sec: trace.malloc_count() as f64 / finish_secs,
+        mean_us: fleet.mean_latency().as_micros(mhz),
+        oom: fleet.oom_count(),
+    }
+}
+
+/// Recorder-vs-pure fidelity: profiling a live replay with
+/// [`ProfileRecorder`] must observe the same histogram and
+/// malloc/free/remote-free counts as the pure
+/// [`AllocProfile::from_trace`] walk (lifetime *units* differ —
+/// cycles vs op ticks — so those are out of scope).
+fn recorder_matches_pure(trace: &AllocTrace, pure: &AllocProfile) -> bool {
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(trace.n_tasklets));
+    let inner = build_alloc(&mut dpu, trace, &SizeClassTable::paper_default());
+    let mut rec = ProfileRecorder::new(inner, trace.name.clone(), trace.n_tasklets);
+    replay(&mut dpu, &mut rec, trace);
+    let (live, _alloc) = rec.into_profile();
+    live.histogram == pure.histogram
+        && live.mallocs == pure.mallocs
+        && live.frees == pure.frees
+        && live.remote_frees == pure.remote_frees
+}
+
+/// Per-family synthesis outcome the experiment (and the CI bench)
+/// reports.
+pub struct TunedFamily {
+    /// Scenario name (`fixed64/steady`, …).
+    pub name: String,
+    /// The synthesized table and its modeled report.
+    pub synthesis: Synthesis,
+    /// Replay measurements under the paper geometry.
+    pub paper: Measured,
+    /// Replay measurements under the synthesized geometry.
+    pub tuned: Measured,
+}
+
+impl TunedFamily {
+    /// Measured fragmentation ratio, tuned over paper.
+    pub fn frag_ratio(&self) -> f64 {
+        self.tuned.frag_peak_ratio / self.paper.frag_peak_ratio
+    }
+
+    /// Measured churn-throughput ratio, tuned over paper.
+    pub fn churn_ratio(&self) -> f64 {
+        self.tuned.churn_ops_per_sec / self.paper.churn_ops_per_sec
+    }
+
+    /// WRAM bitmap footprint ratio, tuned over paper.
+    pub fn wram_ratio(&self) -> f64 {
+        f64::from(self.synthesis.report.wram_bytes_per_tasklet)
+            / f64::from(self.synthesis.report.wram_bytes_per_tasklet_paper)
+    }
+}
+
+/// Records, synthesizes, and replays every scenario family.
+pub fn tune_families(quick: bool, seed: u64) -> Vec<TunedFamily> {
+    let paper = SizeClassTable::paper_default();
+    scenario_families(quick, seed)
+        .iter()
+        .map(|family| {
+            let trace = synthesize(family);
+            let profile = AllocProfile::from_trace(&trace);
+            let synthesis = synthesize_table(&profile, &SynthesisObjective::default())
+                .expect("every scenario family allocates cacheable sizes");
+            TunedFamily {
+                name: trace.name.clone(),
+                paper: measure(&trace, &paper, quick),
+                tuned: measure(&trace, &synthesis.table, quick),
+                synthesis,
+            }
+        })
+        .collect()
+}
+
+/// The `tune` experiment: paper vs synthesized geometry per family,
+/// fidelity row, and the DSE objective ladder.
+pub fn geometry_tune(quick: bool, seed: u64) -> Experiment {
+    let mut e = Experiment::new(
+        "tune",
+        "profile-guided geometry: synthesized vs paper size classes per scenario family",
+        "extension; internal-fragmentation model per Table III (A/U, Hoard-style)",
+    );
+    let paper_table = SizeClassTable::paper_default();
+    let paper_wram = f64::from(wram_bitmap_bytes(&paper_table));
+    for fam in tune_families(quick, seed) {
+        let report = &fam.synthesis.report;
+        e.push(Row::new(
+            format!("{} @ paper", fam.name),
+            vec![
+                ("classes", paper_table.len() as f64),
+                ("frag A/U", fam.paper.frag_peak_ratio),
+                ("churn Mops/s", fam.paper.churn_ops_per_sec / 1e6),
+                ("mean us", fam.paper.mean_us),
+                ("wram B", paper_wram),
+                ("oom", fam.paper.oom as f64),
+            ],
+        ));
+        e.push(Row::new(
+            format!("{} @ tuned", fam.name),
+            vec![
+                ("classes", report.class_count as f64),
+                ("frag A/U", fam.tuned.frag_peak_ratio),
+                ("churn Mops/s", fam.tuned.churn_ops_per_sec / 1e6),
+                ("mean us", fam.tuned.mean_us),
+                ("wram B", f64::from(report.wram_bytes_per_tasklet)),
+                ("oom", fam.tuned.oom as f64),
+            ],
+        ));
+        e.push(Row::new(
+            format!("{} delta", fam.name),
+            vec![
+                ("frag ratio", fam.frag_ratio()),
+                ("churn ratio", fam.churn_ratio()),
+                ("wram ratio", fam.wram_ratio()),
+                ("modeled frag ratio", report.predicted_frag_ratio),
+                ("bypass", report.bypass_requests as f64),
+            ],
+        ));
+    }
+
+    // Fidelity: live ProfileRecorder vs pure trace walk, on the most
+    // size-diverse family (uniform/bursty).
+    let families = scenario_families(quick, seed);
+    let trace = synthesize(&families[1]);
+    let pure = AllocProfile::from_trace(&trace);
+    e.push(Row::new(
+        format!("recorded {} fidelity", trace.name),
+        vec![
+            (
+                "recorder==pure",
+                if recorder_matches_pure(&trace, &pure) {
+                    1.0
+                } else {
+                    0.0
+                },
+            ),
+            ("mallocs", pure.mallocs as f64),
+            ("remote-free frac", pure.remote_free_fraction()),
+        ],
+    ));
+
+    // The DSE hook: sweep the objective's WRAM-weight ladder over the
+    // same profile, exposing the fragmentation/WRAM frontier.
+    let sweep_cfg = pim_dse::GeometrySweepConfig::default();
+    for point in pim_dse::sweep_objectives(&pure, &sweep_cfg)
+        .into_iter()
+        .flatten()
+    {
+        e.push(Row::new(
+            format!("dse w={} @ {}", point.wram_weight, trace.name),
+            vec![
+                ("classes", point.classes.len() as f64),
+                ("modeled frag ratio", point.predicted_frag_ratio),
+                ("wram B", f64::from(point.wram_bytes_per_tasklet)),
+            ],
+        ));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::TRACE_DEFAULT_SEED;
+
+    #[test]
+    fn synthesized_geometry_beats_paper_on_most_families() {
+        let fams = tune_families(true, TRACE_DEFAULT_SEED);
+        assert_eq!(fams.len(), 5);
+        let modeled_wins = fams
+            .iter()
+            .filter(|f| f.synthesis.report.predicted_frag_ratio < 1.0)
+            .count();
+        assert!(
+            modeled_wins >= 3,
+            "synthesized geometry must beat paper modeled fragmentation on >= 3 of 5 families, won {modeled_wins}"
+        );
+        for f in &fams {
+            assert!(
+                f.frag_ratio() <= 1.0,
+                "{}: measured frag regressed ({} vs {})",
+                f.name,
+                f.tuned.frag_peak_ratio,
+                f.paper.frag_peak_ratio
+            );
+            assert!(
+                f.churn_ratio() >= 0.95,
+                "{}: churn throughput fell by more than 5% (ratio {})",
+                f.name,
+                f.churn_ratio()
+            );
+            assert_eq!(f.paper.oom + f.tuned.oom, 0, "{}: replay hit OOM", f.name);
+        }
+    }
+
+    #[test]
+    fn experiment_rows_cover_every_family_and_the_loop_checks() {
+        let e = geometry_tune(true, TRACE_DEFAULT_SEED);
+        for family in scenario_families(true, TRACE_DEFAULT_SEED) {
+            let name = family.scenario_name();
+            for suffix in ["paper", "tuned"] {
+                let label = format!("{name} @ {suffix}");
+                let row = e.row(&label).unwrap_or_else(|| panic!("missing {label}"));
+                assert!(row.value("frag A/U").unwrap() >= 1.0, "{label}");
+                assert!(row.value("churn Mops/s").unwrap() > 0.0, "{label}");
+            }
+            assert!(e.row(&format!("{name} delta")).is_some());
+        }
+        let fidelity = e
+            .rows
+            .iter()
+            .find(|r| r.label.ends_with("fidelity"))
+            .expect("fidelity row");
+        assert_eq!(fidelity.value("recorder==pure").unwrap(), 1.0);
+        assert!(
+            e.rows
+                .iter()
+                .filter(|r| r.label.starts_with("dse w="))
+                .count()
+                >= 4,
+            "objective ladder rows missing"
+        );
+    }
+
+    #[test]
+    fn tune_is_deterministic() {
+        let a = geometry_tune(true, TRACE_DEFAULT_SEED).to_json();
+        let b = geometry_tune(true, TRACE_DEFAULT_SEED).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_measurements_are_policy_invariant() {
+        use pim_sim::{ExecPolicy, SimContext};
+        let families = scenario_families(true, TRACE_DEFAULT_SEED);
+        let trace = synthesize(&families[0]);
+        let profile = AllocProfile::from_trace(&trace);
+        let synth = synthesize_table(&profile, &SynthesisObjective::default()).unwrap();
+        let run = |policy: ExecPolicy| {
+            let cfg = FleetConfig {
+                n_dpus: 2,
+                ctx: SimContext::default().with_exec(policy),
+            };
+            let fleet = replay_fleet(&trace, &cfg, |dpu| {
+                Box::new(build_alloc(dpu, &trace, &synth.table))
+            });
+            (fleet.kernel_finish, fleet.mean_latency())
+        };
+        let serial = run(ExecPolicy::Serial);
+        for policy in [
+            ExecPolicy::Oblivious,
+            ExecPolicy::Sticky,
+            ExecPolicy::StickySteal,
+        ] {
+            assert_eq!(run(policy), serial, "{policy:?} diverged from serial");
+        }
+    }
+}

@@ -30,41 +30,137 @@
 //! assert_eq!(cfg.size_classes().max_bytes(), 1024);
 //! ```
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::buddy::DescentPolicy;
 use crate::pim_malloc::BackendKind;
 use crate::thread_cache::{CACHE_BLOCK_BYTES, DEFAULT_SIZE_CLASSES};
 
+/// Required alignment of every size class: sub-block addresses are
+/// `base + slot * class_bytes`, and the DPU's MRAM interface moves
+/// 8-byte-aligned words, so classes must be multiples of 8.
+pub const SIZE_CLASS_ALIGN: u32 = 8;
+
+/// Why a size-class list was rejected by [`SizeClassTable::try_new`].
+///
+/// Synthesized tables (`pim-profile`) make arbitrary class lists
+/// reachable from data, so construction reports malformed geometry as
+/// a typed error instead of silently accepting or panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The class list is empty.
+    Empty,
+    /// A class of zero bytes (no sub-block can be zero-sized).
+    ZeroSize,
+    /// A class not aligned to [`SIZE_CLASS_ALIGN`] bytes.
+    Misaligned {
+        /// The offending class size.
+        class: u32,
+    },
+    /// A class repeated in the list.
+    Duplicate {
+        /// The repeated class size.
+        class: u32,
+    },
+    /// Classes out of ascending order.
+    Unsorted {
+        /// The class that precedes `class` in the list.
+        prev: u32,
+        /// The out-of-order class.
+        class: u32,
+    },
+    /// A class larger than half a [`CACHE_BLOCK_BYTES`] block (it
+    /// could never subdivide a cache block into at least two slots).
+    TooLarge {
+        /// The offending class size.
+        class: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Empty => write!(f, "need at least one size class"),
+            GeometryError::ZeroSize => write!(f, "size class of zero bytes"),
+            GeometryError::Misaligned { class } => {
+                write!(f, "size class {class} not aligned to {SIZE_CLASS_ALIGN} B")
+            }
+            GeometryError::Duplicate { class } => {
+                write!(f, "duplicate size class {class}")
+            }
+            GeometryError::Unsorted { prev, class } => write!(
+                f,
+                "size classes must be strictly increasing ({class} after {prev})"
+            ),
+            GeometryError::TooLarge { class } => write!(
+                f,
+                "size class {class} too large for a {CACHE_BLOCK_BYTES} B block"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 /// The validated, shared size-class geometry of one allocator: a
-/// strictly increasing list of power-of-two sub-block sizes, each at
-/// most half a [`CACHE_BLOCK_BYTES`] block.
+/// strictly increasing list of 8-byte-aligned sub-block sizes, each at
+/// most half a [`CACHE_BLOCK_BYTES`] block. The paper's default is
+/// powers of two ([`SizeClassTable::paper_default`]); synthesized
+/// tables (`pim-profile`) may use any aligned boundaries.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SizeClassTable {
     classes: Vec<u32>,
 }
 
 impl SizeClassTable {
+    /// Builds a table from `classes`, validating the geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`GeometryError`] naming the first violated invariant: empty,
+    /// zero-sized, misaligned, duplicate, unsorted, or oversized class
+    /// lists are all rejected.
+    pub fn try_new(classes: impl Into<Vec<u32>>) -> Result<Self, GeometryError> {
+        let classes = classes.into();
+        if classes.is_empty() {
+            return Err(GeometryError::Empty);
+        }
+        let mut prev = 0;
+        for &c in &classes {
+            if c == 0 {
+                return Err(GeometryError::ZeroSize);
+            }
+            if c % SIZE_CLASS_ALIGN != 0 {
+                return Err(GeometryError::Misaligned { class: c });
+            }
+            if c > CACHE_BLOCK_BYTES / 2 {
+                return Err(GeometryError::TooLarge { class: c });
+            }
+            if c == prev {
+                return Err(GeometryError::Duplicate { class: c });
+            }
+            if c < prev {
+                return Err(GeometryError::Unsorted { prev, class: c });
+            }
+            prev = c;
+        }
+        Ok(SizeClassTable { classes })
+    }
+
     /// Builds a table from `classes`.
     ///
     /// # Panics
     ///
-    /// Panics if the list is empty, unsorted, contains a
-    /// non-power-of-two, or a class exceeds half the cache block.
+    /// Panics on the invariants [`SizeClassTable::try_new`] reports as
+    /// errors (empty, zero-size, misaligned, duplicate, unsorted, or
+    /// oversized classes).
     pub fn new(classes: impl Into<Vec<u32>>) -> Self {
-        let classes = classes.into();
-        assert!(!classes.is_empty(), "need at least one size class");
-        let mut prev = 0;
-        for &c in &classes {
-            assert!(c.is_power_of_two(), "size class {c} not a power of two");
-            assert!(c > prev, "size classes must be strictly increasing");
-            assert!(
-                c <= CACHE_BLOCK_BYTES / 2,
-                "size class {c} too large for a {CACHE_BLOCK_BYTES} B block"
-            );
-            prev = c;
+        match Self::try_new(classes) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
-        SizeClassTable { classes }
     }
 
     /// The paper's default geometry: powers of two from 16 B to 2 KB.
@@ -385,15 +481,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a power of two")]
-    fn non_power_of_two_rejected() {
-        SizeClassTable::new([24]);
-    }
-
-    #[test]
     #[should_panic(expected = "too large")]
     fn class_larger_than_half_block_rejected() {
         SizeClassTable::new([4096]);
+    }
+
+    #[test]
+    fn try_new_reports_each_rejection_as_a_typed_error() {
+        assert_eq!(
+            SizeClassTable::try_new(Vec::<u32>::new()),
+            Err(GeometryError::Empty)
+        );
+        assert_eq!(
+            SizeClassTable::try_new([16, 0, 64]),
+            Err(GeometryError::ZeroSize)
+        );
+        assert_eq!(
+            SizeClassTable::try_new([16, 28, 64]),
+            Err(GeometryError::Misaligned { class: 28 })
+        );
+        assert_eq!(
+            SizeClassTable::try_new([16, 64, 64]),
+            Err(GeometryError::Duplicate { class: 64 })
+        );
+        assert_eq!(
+            SizeClassTable::try_new([64, 16]),
+            Err(GeometryError::Unsorted {
+                prev: 64,
+                class: 16
+            })
+        );
+        assert_eq!(
+            SizeClassTable::try_new([16, 4096]),
+            Err(GeometryError::TooLarge { class: 4096 })
+        );
+        // Errors display the offending class for diagnostics.
+        assert!(GeometryError::Misaligned { class: 28 }
+            .to_string()
+            .contains("28"));
+    }
+
+    #[test]
+    fn aligned_non_power_of_two_classes_are_valid() {
+        // Synthesized geometry: arbitrary 8-byte-aligned boundaries.
+        let t = SizeClassTable::try_new([24, 72, 520, 2040]).unwrap();
+        assert_eq!(t.class_for(25), Some(1)); // 72 B
+        assert_eq!(t.class_for(2040), Some(3));
+        assert_eq!(t.class_for(2041), None); // bypass
+        assert_eq!(t.max_bytes(), 2040);
     }
 
     #[test]

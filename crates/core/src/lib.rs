@@ -81,7 +81,10 @@ pub use buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
 pub use central_free_list::CentralFreeList;
 pub use error::{AllocError, InitError};
 pub use frag::FragTracker;
-pub use geometry::{AllocGeometry, PimMallocConfig, SizeClassTable, TierConfig, TierPolicy};
+pub use geometry::{
+    AllocGeometry, GeometryError, PimMallocConfig, SizeClassTable, TierConfig, TierPolicy,
+    SIZE_CLASS_ALIGN,
+};
 pub use metadata::{MetaStats, MetadataStore, NodeState};
 pub use pim_malloc::{BackendKind, PimMalloc};
 pub use region_map::{FreeRoute, RegionMap};

@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod geometry;
 mod runner;
 mod strategy;
 
+pub use geometry::{sweep_objectives, GeometryPoint, GeometrySweepConfig};
 pub use runner::{run_strategy, sweep, DseConfig, DseResult};
 pub use strategy::Strategy;

@@ -1,0 +1,193 @@
+//! Recording allocation profiles from live runs.
+//!
+//! [`ProfileRecorder`] wraps any [`PimAllocator`] and observes the
+//! stream of calls — request sizes, live-object lifetimes, remote-free
+//! edges, and the live-bytes timeline — into an [`AllocProfile`].
+//! Like `pim_trace::TraceRecorder` (which it mirrors), the recorder
+//! only *reads* the context clock and never issues simulated work of
+//! its own, so wrapping an allocator never perturbs the run being
+//! profiled: the workload's results are identical with and without it.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use pim_malloc::{AllocError, AllocStats, PimAllocator};
+use pim_sim::TaskletCtx;
+
+use crate::profile::{downsample_timeline, AllocProfile};
+
+/// A [`PimAllocator`] wrapper that accumulates an [`AllocProfile`]
+/// while forwarding every call to the wrapped allocator.
+#[derive(Debug)]
+pub struct ProfileRecorder<A> {
+    inner: A,
+    profile: AllocProfile,
+    /// Live address → (owner tasklet, requested size, birth cycles).
+    live: HashMap<u32, (usize, u32, u64)>,
+    live_bytes: u64,
+    /// Undownsampled `(cycles, live bytes)` samples; collapsed on
+    /// [`ProfileRecorder::into_profile`].
+    raw_timeline: Vec<(u64, u64)>,
+}
+
+impl<A: PimAllocator> ProfileRecorder<A> {
+    /// Wraps `inner`, profiling a run named `name` across
+    /// `n_tasklets` tasklets.
+    pub fn new(inner: A, name: impl Into<String>, n_tasklets: usize) -> Self {
+        ProfileRecorder {
+            inner,
+            profile: AllocProfile::new(name, n_tasklets),
+            live: HashMap::new(),
+            live_bytes: 0,
+            raw_timeline: Vec::new(),
+        }
+    }
+
+    /// The wrapped allocator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Finishes profiling, returning the profile and the allocator.
+    /// Lifetimes and the timeline are in simulated cycles.
+    pub fn into_profile(mut self) -> (AllocProfile, A) {
+        self.profile.timeline = downsample_timeline(self.raw_timeline);
+        (self.profile, self.inner)
+    }
+}
+
+impl<A: PimAllocator> PimAllocator for ProfileRecorder<A> {
+    fn pim_malloc(&mut self, ctx: &mut TaskletCtx<'_>, size: u32) -> Result<u32, AllocError> {
+        let tid = ctx.tid();
+        let result = self.inner.pim_malloc(ctx, size);
+        if let Ok(addr) = result {
+            let now = ctx.now().0;
+            self.profile.histogram.record(size);
+            self.profile.mallocs += 1;
+            self.live.insert(addr, (tid, size, now));
+            self.live_bytes += u64::from(size);
+            self.profile.peak_live_bytes = self.profile.peak_live_bytes.max(self.live_bytes);
+            self.raw_timeline.push((now, self.live_bytes));
+        }
+        result
+    }
+
+    fn pim_free(&mut self, ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(), AllocError> {
+        let tid = ctx.tid();
+        let result = self.inner.pim_free(ctx, addr);
+        if result.is_ok() {
+            // Frees of addresses the recorder never saw allocated
+            // (e.g. a run profiled mid-flight) stay unobserved rather
+            // than corrupting the counts.
+            if let Some((owner, size, birth)) = self.live.remove(&addr) {
+                let now = ctx.now().0;
+                self.profile.frees += 1;
+                if owner != tid {
+                    self.profile.remote_frees += 1;
+                }
+                self.profile.lifetimes.record(now.saturating_sub(birth));
+                self.live_bytes -= u64::from(size);
+                self.raw_timeline.push((now, self.live_bytes));
+            }
+        }
+        result
+    }
+
+    fn alloc_stats(&self) -> &AllocStats {
+        self.inner.alloc_stats()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        // Forward so implementation-specific stats probes still find
+        // the real allocator type.
+        self.inner.as_any()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_malloc::{AllocGeometry, PimMalloc};
+    use pim_sim::{Cycles, DpuConfig, DpuSim};
+
+    fn setup(tasklets: usize) -> (DpuSim, ProfileRecorder<PimMalloc>) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(tasklets));
+        let cfg = AllocGeometry::sw(tasklets).with_heap_size(1 << 20).build();
+        let inner = PimMalloc::init(&mut dpu, cfg).expect("init");
+        let rec = ProfileRecorder::new(inner, "test", tasklets);
+        (dpu, rec)
+    }
+
+    #[test]
+    fn profiles_sizes_lifetimes_and_remote_edges() {
+        let (mut dpu, mut rec) = setup(2);
+        let a = {
+            let mut ctx = dpu.ctx(0);
+            rec.pim_malloc(&mut ctx, 64).unwrap()
+        };
+        let b = {
+            let mut ctx = dpu.ctx(0);
+            rec.pim_malloc(&mut ctx, 200).unwrap()
+        };
+        {
+            let mut ctx = dpu.ctx(0);
+            ctx.instrs(500);
+            rec.pim_free(&mut ctx, a).unwrap(); // local
+        }
+        {
+            let mut ctx = dpu.ctx(1);
+            rec.pim_free(&mut ctx, b).unwrap(); // remote
+        }
+        let (p, _alloc) = rec.into_profile();
+        assert_eq!(
+            p.histogram.entries().collect::<Vec<_>>(),
+            vec![(64, 1), (200, 1)]
+        );
+        assert_eq!(p.mallocs, 2);
+        assert_eq!(p.frees, 2);
+        assert_eq!(p.remote_frees, 1);
+        assert_eq!(p.peak_live_bytes, 264);
+        assert_eq!(p.lifetimes.observed, 2);
+        assert!(p.lifetimes.max >= 500, "lifetime spans the compute gap");
+        assert_eq!(p.timeline.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn failed_calls_are_not_profiled() {
+        let (mut dpu, mut rec) = setup(1);
+        {
+            let mut ctx = dpu.ctx(0);
+            assert!(rec.pim_malloc(&mut ctx, 1 << 30).is_err());
+            assert!(rec.pim_free(&mut ctx, 0xdead_beef).is_err());
+        }
+        let (p, _alloc) = rec.into_profile();
+        assert_eq!(p.mallocs, 0);
+        assert_eq!(p.frees, 0);
+        assert_eq!(p.histogram.total_requests(), 0);
+        assert!(p.timeline.is_empty());
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        // The same call sequence with and without the recorder leaves
+        // identical clocks and addresses.
+        let run = |record: bool| -> (Vec<u32>, Cycles) {
+            let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(2));
+            let cfg = AllocGeometry::sw(2).with_heap_size(1 << 20).build();
+            let inner = PimMalloc::init(&mut dpu, cfg).expect("init");
+            let mut alloc: Box<dyn PimAllocator> = if record {
+                Box::new(ProfileRecorder::new(inner, "p", 2))
+            } else {
+                Box::new(inner)
+            };
+            let mut addrs = Vec::new();
+            for i in 0..10u32 {
+                let tid = (i % 2) as usize;
+                let mut ctx = dpu.ctx(tid);
+                addrs.push(alloc.pim_malloc(&mut ctx, 32 + i).unwrap());
+            }
+            (addrs, dpu.max_clock())
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

@@ -1,0 +1,98 @@
+//! Profile-guided geometry tuning, end to end on one scenario family:
+//! record a live run through [`ProfileRecorder`], synthesize a custom
+//! size-class table from the profile, then replay the same trace
+//! under the paper geometry and the synthesized one and compare
+//! measured fragmentation.
+//!
+//! Run with: `cargo run --release --example tune_geometry`
+
+use pim_malloc_repro::{
+    synthesize_table, AllocGeometry, PimMalloc, ProfileRecorder, SizeClassTable, SynthesisObjective,
+};
+use pim_profile::wram_bitmap_bytes;
+use pim_sim::{DpuConfig, DpuSim};
+use pim_trace::{replay, synthesize, AllocTrace, SizeLaw, SynthConfig, TemporalShape};
+
+/// Replays `trace` under `table`, returning (A/U at peak, finish us).
+fn replay_under(trace: &AllocTrace, table: &SizeClassTable) -> (f64, f64) {
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(trace.n_tasklets));
+    let geom = AllocGeometry::sw(trace.n_tasklets)
+        .with_heap_size(trace.heap_size)
+        .with_size_classes(table.clone());
+    let mut alloc = PimMalloc::init(&mut dpu, geom.build()).expect("init");
+    let result = replay(&mut dpu, &mut alloc, trace);
+    (alloc.frag().peak_ratio(), result.finish.as_micros(350))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: the log-normal/phase-shift scenario family —
+    //    size-diverse, so the fixed power-of-two table serves it
+    //    poorly.
+    let trace = synthesize(&SynthConfig {
+        n_tasklets: 16,
+        mallocs_per_tasklet: 96,
+        size_law: SizeLaw::LogNormal {
+            mu: 5.5,
+            sigma: 1.0,
+            min: 8,
+            max: 8192,
+        },
+        shape: TemporalShape::PhaseShift {
+            period: 32,
+            compute: 200,
+        },
+        ..SynthConfig::default()
+    });
+
+    // 2. Record: replay once with a ProfileRecorder wrapped around
+    //    the allocator. The recorder only reads the clock — the run
+    //    is identical with and without it.
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(trace.n_tasklets));
+    let geom = AllocGeometry::sw(trace.n_tasklets).with_heap_size(trace.heap_size);
+    let inner = PimMalloc::init(&mut dpu, geom.build())?;
+    let mut recorder = ProfileRecorder::new(inner, trace.name.clone(), trace.n_tasklets);
+    replay(&mut dpu, &mut recorder, &trace);
+    let (profile, _alloc) = recorder.into_profile();
+    println!("profiled {}:", profile.name);
+    println!("  mallocs            : {}", profile.mallocs);
+    println!(
+        "  distinct sizes     : {}",
+        profile.histogram.distinct_sizes()
+    );
+    println!("  peak live          : {} B", profile.peak_live_bytes);
+    println!(
+        "  remote frees       : {:.1} %",
+        100.0 * profile.remote_free_fraction()
+    );
+
+    // 3. Synthesize a table from the profile.
+    let synthesis = synthesize_table(&profile, &SynthesisObjective::default())?;
+    let report = &synthesis.report;
+    println!("\nsynthesized classes  : {:?}", report.classes);
+    println!(
+        "modeled frag         : {} B vs paper {} B (ratio {:.3})",
+        report.modeled_frag_bytes, report.modeled_frag_bytes_paper, report.predicted_frag_ratio
+    );
+    println!(
+        "WRAM bitmap/tasklet  : {} B vs paper {} B",
+        report.wram_bytes_per_tasklet, report.wram_bytes_per_tasklet_paper
+    );
+
+    // 4. Replay: same trace, paper vs synthesized geometry.
+    let paper = SizeClassTable::paper_default();
+    let (frag_paper, finish_paper) = replay_under(&trace, &paper);
+    let (frag_tuned, finish_tuned) = replay_under(&trace, &synthesis.table);
+    println!("\nreplay               :    paper    tuned");
+    println!("  frag A/U at peak   : {frag_paper:8.2} {frag_tuned:8.2}");
+    println!("  kernel finish us   : {finish_paper:8.1} {finish_tuned:8.1}");
+    println!(
+        "  WRAM bitmaps B     : {:8} {:8}",
+        wram_bitmap_bytes(&paper),
+        wram_bitmap_bytes(&synthesis.table)
+    );
+    assert!(
+        frag_tuned <= frag_paper,
+        "synthesized geometry must not worsen measured fragmentation"
+    );
+    Ok(())
+}

@@ -17,10 +17,19 @@
 //!   builder (size classes via [`SizeClassTable`], free-path hierarchy
 //!   via [`TierPolicy`]/[`TierConfig`]), plus the [`PimAllocator`]
 //!   object-safe trait.
+//! * Profile-guided geometry: [`ProfileRecorder`] / [`AllocProfile`]
+//!   capture what a workload asks the allocator for, and
+//!   [`synthesize_table`] turns a profile into a custom
+//!   [`SizeClassTable`] under a [`SynthesisObjective`] (see
+//!   `examples/tune_geometry.rs` for the full record → synthesize →
+//!   replay loop).
 
 pub use pim_malloc::{
-    AllocGeometry, AllocStats, BackendKind, PimAllocator, PimMalloc, PimMallocConfig,
-    SizeClassTable, TierConfig, TierPolicy,
+    AllocGeometry, AllocStats, BackendKind, GeometryError, PimAllocator, PimMalloc,
+    PimMallocConfig, SizeClassTable, TierConfig, TierPolicy,
+};
+pub use pim_profile::{
+    synthesize_table, AllocProfile, ProfileRecorder, Synthesis, SynthesisObjective, SynthesisReport,
 };
 pub use pim_serving::{
     estimated_capacity_rps, saturation_sweep, serve, ArrivalProcess, FaultSummary, LoadPoint,
