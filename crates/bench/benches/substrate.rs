@@ -107,7 +107,7 @@ fn bench_ablation_descent_policy(c: &mut Criterion) {
                     descent: policy,
                     ..StrawManConfig::default()
                 };
-                let mut alloc = StrawManAllocator::init(&mut dpu, cfg);
+                let mut alloc = StrawManAllocator::init(&mut dpu, cfg).expect("straw-man init");
                 for _ in 0..128 {
                     let mut ctx = dpu.ctx(0);
                     alloc.pim_malloc(&mut ctx, 64).expect("fits");

@@ -251,7 +251,7 @@ pub fn ablation_descent(quick: bool) -> Experiment {
             descent: policies[i].1,
             ..StrawManConfig::default()
         };
-        let mut alloc = StrawManAllocator::init(&mut dpu, cfg);
+        let mut alloc = StrawManAllocator::init(&mut dpu, cfg).expect("straw-man init");
         let mut first = 0.0;
         let mut last = 0.0;
         for j in 0..allocs {

@@ -27,6 +27,19 @@
 //! the owner's cache under the global backend lock — stays reachable
 //! via [`AllocGeometry::two_tier`].
 //!
+//! ## Frontends
+//!
+//! Size-class requests are served by one of two frontends (see
+//! [`FrontendKind`]): the legacy bitmap-scan thread caches (default),
+//! or the mimalloc-style [`PageLocal`] page/queue fast path
+//! ([`AllocGeometry::page_local`]) — sharded per-(tasklet, class)
+//! queues of fixed-size pages with intrusive free lists and O(1)
+//! frame-table free routing. Both produce byte-identical addresses,
+//! errors, and fragmentation accounting (differentially
+//! property-tested in `tests/page_differential.rs`); only the
+//! simulated cycle pricing differs, with the page path's hot paths at
+//! constant cost.
+//!
 //! ## Error paths and quarantine
 //!
 //! Every hostile operation — zero/oversized sizes, frees of addresses
@@ -60,6 +73,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod api;
 pub mod buddy;
@@ -68,6 +82,8 @@ pub mod error;
 pub mod frag;
 pub mod geometry;
 pub mod metadata;
+pub mod page;
+pub mod page_queue;
 pub mod pim_malloc;
 pub mod region_map;
 pub mod span;
@@ -82,10 +98,12 @@ pub use central_free_list::CentralFreeList;
 pub use error::{AllocError, InitError};
 pub use frag::FragTracker;
 pub use geometry::{
-    AllocGeometry, GeometryError, PimMallocConfig, SizeClassTable, TierConfig, TierPolicy,
-    SIZE_CLASS_ALIGN,
+    AllocGeometry, FrontendKind, GeometryError, PimMallocConfig, SizeClassTable, TierConfig,
+    TierPolicy, SIZE_CLASS_ALIGN,
 };
 pub use metadata::{MetaStats, MetadataStore, NodeState};
+pub use page::Page;
+pub use page_queue::{PageLocal, PageQueue};
 pub use pim_malloc::{BackendKind, PimMalloc};
 pub use region_map::{FreeRoute, RegionMap};
 pub use span::{Span, SpanRegistry};

@@ -33,6 +33,9 @@ pub struct CoarseBufferStore {
     meta_base: u32,
     /// WRAM window size in bytes.
     buffer_bytes: u32,
+    /// Effective window length: `buffer_bytes` clamped to the metadata
+    /// size. Cached because the hit check runs on every node access.
+    window_len: u32,
     /// First metadata byte currently buffered, aligned to the window.
     window_start: u32,
     window_valid: bool,
@@ -53,10 +56,13 @@ impl CoarseBufferStore {
             buffer_bytes.is_power_of_two() && buffer_bytes >= 8,
             "buffer size must be a power of two of at least 8 bytes"
         );
+        let bits = BitArray::new(nodes);
+        let window_len = buffer_bytes.min(bits.len_bytes().next_power_of_two());
         CoarseBufferStore {
-            bits: BitArray::new(nodes),
+            bits,
             meta_base,
             buffer_bytes,
+            window_len,
             window_start: 0,
             window_valid: false,
             dirty: false,
@@ -70,12 +76,27 @@ impl CoarseBufferStore {
     }
 
     fn window_len(&self) -> u32 {
-        self.buffer_bytes
-            .min(self.bits.len_bytes().next_power_of_two())
+        self.window_len
     }
 
     /// Ensures the metadata byte holding `idx` is buffered, charging
     /// flush + reload DMA on a miss.
+    ///
+    /// The hit check is the hot path (every buddy node visit lands
+    /// here), so it stays small and inlinable; the flush-and-reload
+    /// miss path is split out as a cold function.
+    #[inline]
+    fn ensure(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32) {
+        let byte = BitArray::byte_of(idx);
+        if self.window_valid && byte.wrapping_sub(self.window_start) < self.window_len {
+            self.stats.hits += 1;
+            return;
+        }
+        self.refill(ctx, byte);
+    }
+
+    /// The miss path of [`Self::ensure`]: flush the dirty window and
+    /// reload it starting at the requested byte.
     ///
     /// On a miss the window is refilled **starting at the requested
     /// byte** (`fillBuddyMetadata(metadataIdx)` in Figure 13(a)), so it
@@ -83,13 +104,9 @@ impl CoarseBufferStore {
     /// shallow tree one window then spans a parent-level scan region
     /// *and* its children, while in the deep straw-man tree each level
     /// change below the window still misses.
-    fn ensure(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32) {
-        let byte = BitArray::byte_of(idx);
-        let len = self.window_len();
-        if self.window_valid && byte >= self.window_start && byte < self.window_start + len {
-            self.stats.hits += 1;
-            return;
-        }
+    #[cold]
+    fn refill(&mut self, ctx: &mut TaskletCtx<'_>, byte: u32) {
+        let len = self.window_len;
         self.stats.misses += 1;
         ctx.instrs(MISS_INSTRS);
         if self.window_valid && self.dirty {
@@ -110,12 +127,14 @@ impl CoarseBufferStore {
 }
 
 impl MetadataStore for CoarseBufferStore {
+    #[inline]
     fn get(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32) -> NodeState {
         self.ensure(ctx, idx);
         ctx.instrs(HIT_INSTRS);
         self.bits.get(idx)
     }
 
+    #[inline]
     fn set(&mut self, ctx: &mut TaskletCtx<'_>, idx: u32, state: NodeState) {
         self.ensure(ctx, idx);
         ctx.instrs(HIT_INSTRS);

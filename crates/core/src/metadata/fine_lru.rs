@@ -74,11 +74,14 @@ impl FineLruStore {
             None => {
                 self.stats.misses += 1;
                 ctx.instrs(MISS_INSTRS);
+                // At capacity, the LRU entry is written back if dirty;
+                // a zero-capacity store simply has nothing to evict.
                 if self.resident.len() == self.capacity {
-                    let (victim, dirty) = self.resident.pop().expect("capacity > 0");
-                    if dirty {
-                        ctx.mram_write(self.meta_base + victim, self.granule_bytes);
-                        self.stats.bytes_written += u64::from(self.granule_bytes);
+                    if let Some((victim, dirty)) = self.resident.pop() {
+                        if dirty {
+                            ctx.mram_write(self.meta_base + victim, self.granule_bytes);
+                            self.stats.bytes_written += u64::from(self.granule_bytes);
+                        }
                     }
                 }
                 ctx.mram_read(self.meta_base + granule, self.granule_bytes);

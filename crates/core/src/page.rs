@@ -1,0 +1,276 @@
+//! Fixed-size pages: the unit of the `PageLocal` fast path.
+//!
+//! A [`Page`] is one [`CACHE_BLOCK_BYTES`] block carved out of the
+//! buddy backend and subdivided into equal sub-blocks of one size
+//! class — the same memory layout as the legacy thread-cache block,
+//! re-metadata'd for O(1) operation. Following mimalloc's `page.rs`,
+//! each page carries its own free-slot structure and `used`/`capacity`
+//! counters so the common malloc/free is a handful of loads and
+//! stores:
+//!
+//! * The per-page free list is kept in *address order* as a two-level
+//!   bitmap — one word per 64 slots plus a one-word summary whose bit
+//!   `i` says "word `i` has a free slot". Popping the lowest free slot
+//!   is two `trailing_zeros` and two stores; pushing a freed slot is
+//!   two OR-stores. Address order (rather than mimalloc's LIFO
+//!   intrusive list) is deliberate: it makes the page path produce
+//!   **byte-identical addresses** to the legacy bitmap-scan frontend,
+//!   which the `page_differential` proptests pin.
+//! * `used`/`capacity` make "page became full" and "page became empty"
+//!   O(1) queries for the page queues' migration logic
+//!   (see [`crate::page_queue`]).
+//! * The intrusive queue links (`prev`/`next` in both the all-pages
+//!   list and the available-pages list) live inside the page itself,
+//!   so queue surgery never allocates.
+//!
+//! [`CACHE_BLOCK_BYTES`]: crate::thread_cache::CACHE_BLOCK_BYTES
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::SIZE_CLASS_ALIGN;
+use crate::thread_cache::CACHE_BLOCK_BYTES;
+
+/// Words of slot bitmap a page can ever need: the smallest legal size
+/// class ([`SIZE_CLASS_ALIGN`] bytes) subdivides a page into
+/// `CACHE_BLOCK_BYTES / SIZE_CLASS_ALIGN` slots, 64 per word.
+pub const PAGE_WORDS: usize = (CACHE_BLOCK_BYTES / SIZE_CLASS_ALIGN / 64) as usize;
+
+/// Null link in the intrusive page lists.
+pub const NIL: u32 = u32::MAX;
+
+/// Marks the first `slots` positions free (bit = 1) and every padding
+/// bit beyond them busy (bit = 0).
+///
+/// This is the single shared initializer for per-block free bitmaps
+/// (legacy thread cache and page path alike). The historical inline
+/// version computed the last word as `(1u64 << tail) - 1`, which is
+/// only safe when `tail` is already reduced mod 64 — derive the tail
+/// as "slots remaining in the last word" (a count in `1..=64`, the
+/// other natural formulation) and `1u64 << 64` overflows: a debug
+/// panic or, in release, a wrapped shift that marks an exactly-full
+/// tail word (64-, 128-, 192-slot classes…) entirely *busy*. This
+/// version computes each word's population without any shift that can
+/// reach 64.
+pub(crate) fn init_free_mask(slots: u32, words: &mut [u64]) {
+    debug_assert!(
+        slots as usize <= words.len() * 64,
+        "{slots} slots exceed {} bitmap words",
+        words.len()
+    );
+    for (wi, word) in words.iter_mut().enumerate() {
+        let below = wi as u32 * 64;
+        *word = match slots.saturating_sub(below).min(64) {
+            0 => 0,
+            64 => u64::MAX,
+            in_word => (1u64 << in_word) - 1,
+        };
+    }
+}
+
+/// One fixed-size page: a backend block subdivided into `capacity`
+/// sub-blocks of `class_bytes`, with O(1) free-slot pop/push and
+/// intrusive links for the page queues.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Page {
+    base: u32,
+    class_bytes: u32,
+    /// Sub-blocks currently handed out.
+    used: u32,
+    /// Total sub-blocks in the page.
+    capacity: u32,
+    /// Free-slot bitmap, 1 = free, in address order.
+    words: [u64; PAGE_WORDS],
+    /// Bit `i` set ⇔ `words[i]` has at least one free slot.
+    summary: u32,
+    /// Intrusive links in the queue's all-pages list (MRU order).
+    pub(crate) prev_all: u32,
+    /// See `prev_all`.
+    pub(crate) next_all: u32,
+    /// Intrusive links in the queue's available-pages list.
+    pub(crate) prev_avail: u32,
+    /// See `prev_avail`.
+    pub(crate) next_avail: u32,
+    /// True while the page is linked into the available list.
+    pub(crate) in_avail: bool,
+}
+
+impl Page {
+    /// Carves a fresh page over the block at `base`, all slots free.
+    pub fn carve(base: u32, class_bytes: u32) -> Self {
+        debug_assert!((SIZE_CLASS_ALIGN..=CACHE_BLOCK_BYTES / 2).contains(&class_bytes));
+        let capacity = CACHE_BLOCK_BYTES / class_bytes;
+        let mut words = [0u64; PAGE_WORDS];
+        init_free_mask(capacity, &mut words);
+        let summary = words
+            .iter()
+            .enumerate()
+            .fold(0u32, |s, (wi, &w)| s | (u32::from(w != 0) << wi));
+        Page {
+            base,
+            class_bytes,
+            used: 0,
+            capacity,
+            words,
+            summary,
+            prev_all: NIL,
+            next_all: NIL,
+            prev_avail: NIL,
+            next_avail: NIL,
+            in_avail: false,
+        }
+    }
+
+    /// Base address of the underlying backend block.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Sub-block size of the page's class.
+    pub fn class_bytes(&self) -> u32 {
+        self.class_bytes
+    }
+
+    /// Sub-blocks currently handed out.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Total sub-blocks in the page.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// True if no slot is free.
+    pub fn is_full(&self) -> bool {
+        self.used == self.capacity
+    }
+
+    /// True if every slot is free.
+    pub fn is_unused(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Pops the lowest free slot and returns its address: two
+    /// `trailing_zeros`, one bit clear, one counter bump.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the page is not full (the available list never
+    /// contains full pages).
+    pub fn take_lowest(&mut self) -> u32 {
+        debug_assert!(!self.is_full(), "alloc from a full page");
+        let wi = self.summary.trailing_zeros() as usize;
+        let bit = self.words[wi].trailing_zeros();
+        self.words[wi] &= !(1u64 << bit);
+        if self.words[wi] == 0 {
+            self.summary &= !(1u32 << wi);
+        }
+        self.used += 1;
+        self.base + (wi as u32 * 64 + bit) * self.class_bytes
+    }
+
+    /// Pushes the slot holding `addr` back onto the page free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free — the shadow bookkeeping in
+    /// [`crate::PimMalloc`]'s frame table rules this out for any free
+    /// that reaches the page layer.
+    pub fn put_slot(&mut self, addr: u32) {
+        let slot = (addr - self.base) / self.class_bytes;
+        let (wi, bit) = ((slot / 64) as usize, slot % 64);
+        assert_eq!(
+            self.words[wi] & (1u64 << bit),
+            0,
+            "double free of {addr:#x} in class {}",
+            self.class_bytes
+        );
+        self.words[wi] |= 1u64 << bit;
+        self.summary |= 1u32 << wi;
+        self.used -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the tail-word initialization: slot counts that
+    /// are an exact multiple of 64 must leave the last word fully
+    /// free, not wrapped to all-busy. 64 slots = the 64 B class,
+    /// 128 = the 32 B class, 192 = a three-word page (reachable with
+    /// non-power-of-two page geometry).
+    #[test]
+    fn exact_word_multiples_keep_every_slot_free() {
+        for slots in [64u32, 128, 192] {
+            let words = (slots as usize).div_ceil(64);
+            let mut bitmap = vec![0u64; words];
+            init_free_mask(slots, &mut bitmap);
+            assert!(
+                bitmap.iter().all(|&w| w == u64::MAX),
+                "{slots} slots: every word must be all-free, got {bitmap:#x?}"
+            );
+            assert_eq!(
+                bitmap.iter().map(|w| w.count_ones()).sum::<u32>(),
+                slots,
+                "{slots} slots"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_tail_words_mask_padding_bits() {
+        for slots in [1u32, 2, 63, 65, 100, 130, 250] {
+            let words = (slots as usize).div_ceil(64);
+            let mut bitmap = vec![u64::MAX; words]; // stale garbage
+            init_free_mask(slots, &mut bitmap);
+            assert_eq!(
+                bitmap.iter().map(|w| w.count_ones()).sum::<u32>(),
+                slots,
+                "{slots} slots"
+            );
+            // Free bits are exactly the lowest `slots` positions.
+            for s in 0..(words * 64) as u32 {
+                let set = bitmap[(s / 64) as usize] & (1u64 << (s % 64)) != 0;
+                assert_eq!(set, s < slots, "slot {s} of {slots}");
+            }
+        }
+    }
+
+    #[test]
+    fn carve_pop_push_roundtrip_in_address_order() {
+        let mut p = Page::carve(0x8000, 256); // 16 slots
+        assert_eq!(p.capacity(), 16);
+        let addrs: Vec<u32> = (0..16).map(|_| p.take_lowest()).collect();
+        assert!(p.is_full());
+        let expect: Vec<u32> = (0..16).map(|i| 0x8000 + i * 256).collect();
+        assert_eq!(addrs, expect, "lowest-slot-first, like the legacy scan");
+        p.put_slot(0x8000 + 5 * 256);
+        p.put_slot(0x8000 + 2 * 256);
+        assert_eq!(p.used(), 14);
+        // The *lowest* freed slot comes back first, regardless of the
+        // order the frees arrived in.
+        assert_eq!(p.take_lowest(), 0x8000 + 2 * 256);
+        assert_eq!(p.take_lowest(), 0x8000 + 5 * 256);
+    }
+
+    #[test]
+    fn smallest_class_fills_every_bitmap_word() {
+        let mut p = Page::carve(0, SIZE_CLASS_ALIGN); // 512 slots, 8 words
+        assert_eq!(p.capacity(), CACHE_BLOCK_BYTES / SIZE_CLASS_ALIGN);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..p.capacity() {
+            assert!(seen.insert(p.take_lowest()));
+        }
+        assert!(p.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_put_panics() {
+        let mut p = Page::carve(0, 512);
+        let a = p.take_lowest();
+        p.put_slot(a);
+        p.put_slot(a);
+    }
+}

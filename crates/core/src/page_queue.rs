@@ -1,0 +1,534 @@
+//! Sharded page queues: the `PageLocal` allocation frontend.
+//!
+//! [`PageLocal`] replaces the legacy bitmap-scan thread caches with
+//! mimalloc's page/queue structure (its `page_queue.rs`): every
+//! (tasklet, size class) pair owns one [`PageQueue`] of [`Page`]s, and
+//! the common malloc/free touches only queue heads, page counters, and
+//! the page's own free-slot words — no block scans, no word scans, no
+//! `Vec` shuffles. The buddy backend is demoted to the segment/page
+//! provider: it only ever hands out and takes back whole
+//! [`CACHE_BLOCK_BYTES`] pages.
+//!
+//! Two intrusive lists thread through each queue's pages:
+//!
+//! * the **all-pages list**, most-recently-allocated-from first —
+//!   exactly the MRU discipline of the legacy frontend's block `Vec`;
+//! * the **available list**, the subsequence of pages with at least
+//!   one free slot, *kept in all-list relative order*.
+//!
+//! Allocation pops the available head (the first non-full page in MRU
+//! order — precisely the page the legacy scan would have found) and
+//! moves it to the all-list front. A page that fills up leaves the
+//! available list ("full migration"); a free that un-fills it
+//! re-inserts it at its order-preserving position; a page whose last
+//! sub-block is freed is released to the buddy backend unless it is
+//! the queue's only page ("empty migration", with the same
+//! keep-the-last-page hysteresis as the legacy pools). The invariant
+//! that the available list is an order-preserving subsequence of the
+//! all list is what makes the fast path **address-identical** to the
+//! legacy frontend — property-tested in `tests/page_differential.rs`.
+//!
+//! Addresses are mapped back to pages in O(1) through a flat
+//! frame→page table (the same indexing trick as
+//! [`crate::region_map::RegionMap`]), so `free` never scans anything.
+//!
+//! [`CACHE_BLOCK_BYTES`]: crate::thread_cache::CACHE_BLOCK_BYTES
+
+use pim_sim::TaskletCtx;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::SizeClassTable;
+use crate::page::{Page, NIL};
+use crate::thread_cache::{FreeOutcome, CACHE_BLOCK_BYTES};
+
+/// Instructions of a page-path alloc hit: queue-head load, two
+/// `trailing_zeros` (the DPU exposes a count-leading-zeros unit), bit
+/// clear, counter bump, address multiply-add, and the MRU head relink.
+const PAGE_ALLOC_INSTRS: u64 = 30;
+/// Instructions to link a fresh page into a queue (mirrors the legacy
+/// frontend's block-install cost).
+const PAGE_LINK_INSTRS: u64 = 34;
+/// Instructions of a page-path free: frame-table shift+load, slot
+/// divide, bit set, counter drop, and the full/empty migration checks.
+const PAGE_FREE_INSTRS: u64 = 36;
+/// Instructions per full page stepped over when a formerly-full page
+/// re-enters the available list at its order-preserving position.
+const PAGE_REQUEUE_STEP_INSTRS: u64 = 4;
+
+/// One (tasklet, size class) shard: intrusive list heads plus the
+/// page population count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PageQueue {
+    /// Head of the all-pages list (MRU first); `NIL` when empty.
+    head_all: u32,
+    /// Head of the available list; `NIL` when every page is full.
+    head_avail: u32,
+    /// Pages currently owned by this queue (full or not).
+    pages: u32,
+}
+
+impl PageQueue {
+    const EMPTY: PageQueue = PageQueue {
+        head_all: NIL,
+        head_avail: NIL,
+        pages: 0,
+    };
+
+    /// Pages currently owned by this queue.
+    pub fn page_count(&self) -> u32 {
+        self.pages
+    }
+}
+
+/// The page/queue allocation frontend for every tasklet of one DPU.
+///
+/// Pages live in one arena `Vec` and are addressed by index through
+/// the intrusive links, so queue surgery is store-only and released
+/// pages recycle their arena slot.
+#[derive(Debug, Clone)]
+pub struct PageLocal {
+    /// Sub-block size per class (shared geometry).
+    class_bytes: Vec<u32>,
+    n_tasklets: usize,
+    /// Page arena; `queues` and `frame_page` hold indices into it.
+    arena: Vec<Page>,
+    /// Recycled arena slots of released pages.
+    spare: Vec<u32>,
+    /// `tid * class_count + class_idx` → queue.
+    queues: Vec<PageQueue>,
+    /// `(base - heap_base) / CACHE_BLOCK_BYTES` → arena index.
+    frame_page: Vec<u32>,
+    heap_base: u32,
+}
+
+impl PageLocal {
+    /// Creates an empty frontend over the shared size-class geometry
+    /// for `n_tasklets` tasklets and the heap `[heap_base,
+    /// heap_base + heap_size)`.
+    pub fn new(
+        classes: &SizeClassTable,
+        n_tasklets: usize,
+        heap_base: u32,
+        heap_size: u32,
+    ) -> Self {
+        let frames = (heap_size / CACHE_BLOCK_BYTES) as usize;
+        PageLocal {
+            class_bytes: classes.classes().to_vec(),
+            n_tasklets,
+            arena: Vec::new(),
+            spare: Vec::new(),
+            queues: vec![PageQueue::EMPTY; n_tasklets * classes.len()],
+            frame_page: vec![NIL; frames],
+            heap_base,
+        }
+    }
+
+    /// WRAM bytes of per-page free-slot metadata at steady state (one
+    /// page per queue) — byte-for-byte the legacy frontend's bitmap
+    /// budget, since a page's slot words *are* that bitmap.
+    pub fn wram_bytes(&self) -> u32 {
+        let per_tasklet: u32 = self
+            .class_bytes
+            .iter()
+            .map(|&c| (CACHE_BLOCK_BYTES / c).div_ceil(8))
+            .sum();
+        per_tasklet * self.n_tasklets as u32
+    }
+
+    /// The queue of `(tid, class_idx)`.
+    pub fn queue(&self, tid: usize, class_idx: usize) -> &PageQueue {
+        &self.queues[tid * self.class_bytes.len() + class_idx]
+    }
+
+    /// Pages currently held across all queues.
+    pub fn live_pages(&self) -> usize {
+        self.arena.len() - self.spare.len()
+    }
+
+    /// Free sub-blocks across the queue's pages (test/introspection
+    /// mirror of the legacy pool accessor).
+    pub fn free_slots(&self, tid: usize, class_idx: usize) -> u32 {
+        let mut total = 0;
+        let mut pi = self.queues[tid * self.class_bytes.len() + class_idx].head_all;
+        while pi != NIL {
+            let p = &self.arena[pi as usize];
+            total += p.capacity() - p.used();
+            pi = p.next_all;
+        }
+        total
+    }
+
+    #[inline]
+    fn frame_of(&self, addr: u32) -> usize {
+        ((addr - self.heap_base) / CACHE_BLOCK_BYTES) as usize
+    }
+
+    #[inline]
+    fn qi(&self, tid: usize, class_idx: usize) -> usize {
+        tid * self.class_bytes.len() + class_idx
+    }
+
+    fn all_push_front(&mut self, qi: usize, pi: u32) {
+        let head = self.queues[qi].head_all;
+        self.arena[pi as usize].prev_all = NIL;
+        self.arena[pi as usize].next_all = head;
+        if head != NIL {
+            self.arena[head as usize].prev_all = pi;
+        }
+        self.queues[qi].head_all = pi;
+    }
+
+    fn all_unlink(&mut self, qi: usize, pi: u32) {
+        let (prev, next) = {
+            let p = &self.arena[pi as usize];
+            (p.prev_all, p.next_all)
+        };
+        if prev != NIL {
+            self.arena[prev as usize].next_all = next;
+        } else {
+            self.queues[qi].head_all = next;
+        }
+        if next != NIL {
+            self.arena[next as usize].prev_all = prev;
+        }
+    }
+
+    fn avail_push_front(&mut self, qi: usize, pi: u32) {
+        let head = self.queues[qi].head_avail;
+        {
+            let p = &mut self.arena[pi as usize];
+            p.prev_avail = NIL;
+            p.next_avail = head;
+            p.in_avail = true;
+        }
+        if head != NIL {
+            self.arena[head as usize].prev_avail = pi;
+        }
+        self.queues[qi].head_avail = pi;
+    }
+
+    fn avail_unlink(&mut self, qi: usize, pi: u32) {
+        let (prev, next) = {
+            let p = &mut self.arena[pi as usize];
+            debug_assert!(p.in_avail);
+            p.in_avail = false;
+            (p.prev_avail, p.next_avail)
+        };
+        if prev != NIL {
+            self.arena[prev as usize].next_avail = next;
+        } else {
+            self.queues[qi].head_avail = next;
+        }
+        if next != NIL {
+            self.arena[next as usize].prev_avail = prev;
+        }
+    }
+
+    /// Re-inserts a formerly-full page at the position that keeps the
+    /// available list an order-preserving subsequence of the all list:
+    /// after its nearest all-list predecessor that is itself
+    /// available. Returns the full pages stepped over (the simulated
+    /// cost of the charged variant; almost always zero, since full
+    /// pages are rare outside adversarial interleavings).
+    fn avail_insert_in_order(&mut self, qi: usize, pi: u32) -> u64 {
+        let mut steps = 0u64;
+        let mut cur = self.arena[pi as usize].prev_all;
+        while cur != NIL && !self.arena[cur as usize].in_avail {
+            cur = self.arena[cur as usize].prev_all;
+            steps += 1;
+        }
+        if cur == NIL {
+            self.avail_push_front(qi, pi);
+            return steps;
+        }
+        // Insert `pi` right after `cur` in the available list.
+        let next = self.arena[cur as usize].next_avail;
+        {
+            let p = &mut self.arena[pi as usize];
+            p.prev_avail = cur;
+            p.next_avail = next;
+            p.in_avail = true;
+        }
+        self.arena[cur as usize].next_avail = pi;
+        if next != NIL {
+            self.arena[next as usize].prev_avail = pi;
+        }
+        steps
+    }
+
+    /// Attempts to allocate from `(tid, class_idx)`: pops the lowest
+    /// free slot of the first available page and keeps that page at
+    /// the MRU front. Returns `None` if every page is full (the caller
+    /// should fetch a page from the backend and retry).
+    pub fn alloc(&mut self, ctx: &mut TaskletCtx<'_>, tid: usize, class_idx: usize) -> Option<u32> {
+        ctx.instrs(PAGE_ALLOC_INSTRS);
+        let qi = self.qi(tid, class_idx);
+        let pi = self.queues[qi].head_avail;
+        if pi == NIL {
+            return None;
+        }
+        let (addr, full) = {
+            let page = &mut self.arena[pi as usize];
+            (page.take_lowest(), page.is_full())
+        };
+        // MRU: the page we just served moves to the all-list front,
+        // like the legacy block list. Its available-list position is
+        // already the head, so only fullness can change that list.
+        if self.queues[qi].head_all != pi {
+            self.all_unlink(qi, pi);
+            self.all_push_front(qi, pi);
+        }
+        if full {
+            self.avail_unlink(qi, pi);
+        }
+        Some(addr)
+    }
+
+    /// Installs a fresh backend page into `(tid, class_idx)` at the
+    /// front of both lists (it is the new MRU page and trivially
+    /// available).
+    pub fn add_page(&mut self, ctx: &mut TaskletCtx<'_>, tid: usize, class_idx: usize, base: u32) {
+        ctx.instrs(PAGE_LINK_INSTRS);
+        let page = Page::carve(base, self.class_bytes[class_idx]);
+        let pi = match self.spare.pop() {
+            Some(slot) => {
+                self.arena[slot as usize] = page;
+                slot
+            }
+            None => {
+                self.arena.push(page);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        let frame = self.frame_of(base);
+        debug_assert_eq!(self.frame_page[frame], NIL, "frame already mapped");
+        self.frame_page[frame] = pi;
+        let qi = self.qi(tid, class_idx);
+        self.all_push_front(qi, pi);
+        self.avail_push_front(qi, pi);
+        self.queues[qi].pages += 1;
+    }
+
+    /// Frees the sub-block at `addr` in `(tid, class_idx)`, charging
+    /// the calling tasklet the constant page-path cost.
+    ///
+    /// If the page becomes entirely free **and** the queue holds
+    /// another page, it is detached and returned for the caller to
+    /// hand back to the backend; the queue always keeps its last page
+    /// to avoid thrashing the buddy allocator on alloc/free ping-pong
+    /// (the legacy pools' hysteresis, preserved exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not belong to any page of the queue or
+    /// the sub-block is already free (double free) — both are program
+    /// bugs the shadow bookkeeping in [`crate::PimMalloc`] rules out.
+    pub fn free(
+        &mut self,
+        ctx: &mut TaskletCtx<'_>,
+        tid: usize,
+        class_idx: usize,
+        addr: u32,
+    ) -> FreeOutcome {
+        let (outcome, steps) = self.free_at(tid, class_idx, addr);
+        ctx.instrs(PAGE_FREE_INSTRS + steps * PAGE_REQUEUE_STEP_INSTRS);
+        outcome
+    }
+
+    /// [`PageLocal::free`] without charging the caller's tasklet: the
+    /// reconciliation step of a *remote* free routed through the
+    /// transfer cache, priced by [`crate::PimMalloc`] as batched MRAM
+    /// traffic instead.
+    pub fn free_unpriced(&mut self, tid: usize, class_idx: usize, addr: u32) -> FreeOutcome {
+        self.free_at(tid, class_idx, addr).0
+    }
+
+    fn free_at(&mut self, tid: usize, class_idx: usize, addr: u32) -> (FreeOutcome, u64) {
+        let qi = self.qi(tid, class_idx);
+        let frame = self.frame_of(addr);
+        let pi = self.frame_page[frame];
+        assert_ne!(pi, NIL, "freed address {addr:#x} belongs to this queue");
+        let (was_full, now_unused, base) = {
+            let page = &mut self.arena[pi as usize];
+            let was_full = page.is_full();
+            page.put_slot(addr);
+            (was_full, page.is_unused(), page.base())
+        };
+        if now_unused && self.queues[qi].pages > 1 {
+            // Empty migration: give the page back to the backend.
+            // (`was_full && now_unused` would need capacity 1, which
+            // the geometry rules out, so the page is on the available
+            // list here.)
+            self.all_unlink(qi, pi);
+            self.avail_unlink(qi, pi);
+            let page_frame = self.frame_of(base);
+            self.frame_page[page_frame] = NIL;
+            self.spare.push(pi);
+            self.queues[qi].pages -= 1;
+            return (FreeOutcome::BlockReleased { block_base: base }, 0);
+        }
+        let steps = if was_full {
+            // Full→available migration, order-preserving.
+            self.avail_insert_in_order(qi, pi)
+        } else {
+            0
+        };
+        (FreeOutcome::Cached, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::{DpuConfig, DpuSim};
+
+    fn dpu() -> DpuSim {
+        DpuSim::new(DpuConfig::default().with_tasklets(2))
+    }
+
+    fn frontend() -> PageLocal {
+        PageLocal::new(&SizeClassTable::paper_default(), 2, 0x1000_0000, 1 << 20)
+    }
+
+    #[test]
+    fn alloc_exhausts_a_page_exactly() {
+        let mut d = dpu();
+        let mut f = frontend();
+        let mut ctx = d.ctx(0);
+        f.add_page(&mut ctx, 0, 0, 0x1000_0000); // 16 B class: 256 slots
+        let mut addrs = Vec::new();
+        while let Some(a) = f.alloc(&mut ctx, 0, 0) {
+            addrs.push(a);
+        }
+        assert_eq!(addrs.len(), 256);
+        let expect: Vec<u32> = (0..256).map(|i| 0x1000_0000 + i * 16).collect();
+        assert_eq!(addrs, expect, "address order, like the legacy scan");
+        assert_eq!(f.queue(0, 0).page_count(), 1);
+        assert_eq!(f.free_slots(0, 0), 0);
+    }
+
+    #[test]
+    fn mru_page_serves_first_and_freed_lowest_slot_returns_first() {
+        let mut d = dpu();
+        let mut f = frontend();
+        let mut ctx = d.ctx(0);
+        f.add_page(&mut ctx, 0, 4, 0x1000_0000); // 256 B: 16 slots
+        let a = f.alloc(&mut ctx, 0, 4).unwrap();
+        let b = f.alloc(&mut ctx, 0, 4).unwrap();
+        assert_eq!(f.free(&mut ctx, 0, 4, a), FreeOutcome::Cached);
+        assert_eq!(f.alloc(&mut ctx, 0, 4), Some(a));
+        // A second page becomes the MRU and serves before the first.
+        f.add_page(&mut ctx, 0, 4, 0x1000_1000);
+        assert_eq!(f.alloc(&mut ctx, 0, 4), Some(0x1000_1000));
+        let _ = b;
+    }
+
+    #[test]
+    fn fully_free_page_released_only_if_not_last() {
+        let mut d = dpu();
+        let mut f = frontend();
+        let mut ctx = d.ctx(0);
+        f.add_page(&mut ctx, 0, 7, 0x1000_0000); // 2 KB: 2 slots
+        let a = f.alloc(&mut ctx, 0, 7).unwrap();
+        assert_eq!(f.free(&mut ctx, 0, 7, a), FreeOutcome::Cached);
+        assert_eq!(f.queue(0, 7).page_count(), 1, "last page is kept");
+        f.add_page(&mut ctx, 0, 7, 0x1000_1000);
+        let b = f.alloc(&mut ctx, 0, 7).unwrap();
+        assert_eq!(b, 0x1000_1000, "MRU page serves first");
+        match f.free(&mut ctx, 0, 7, b) {
+            FreeOutcome::BlockReleased { block_base } => assert_eq!(block_base, 0x1000_1000),
+            other => panic!("expected release, got {other:?}"),
+        }
+        assert_eq!(f.queue(0, 7).page_count(), 1);
+        assert_eq!(f.live_pages(), 1, "released page recycled its slot");
+    }
+
+    #[test]
+    fn full_page_reenters_available_list_in_order() {
+        let mut d = dpu();
+        let mut f = frontend();
+        let mut ctx = d.ctx(0);
+        // Fill page A (2 KB class: 2 slots), then add page B in front.
+        f.add_page(&mut ctx, 0, 7, 0x1000_0000);
+        let a0 = f.alloc(&mut ctx, 0, 7).unwrap();
+        let a1 = f.alloc(&mut ctx, 0, 7).unwrap();
+        f.add_page(&mut ctx, 0, 7, 0x1000_1000);
+        let b0 = f.alloc(&mut ctx, 0, 7).unwrap();
+        // Free one slot of the full page A: it must re-enter the
+        // available list *behind* B (its all-list position), so B's
+        // second slot is served before A's, exactly like the legacy
+        // MRU scan.
+        f.free(&mut ctx, 0, 7, a0);
+        assert_eq!(f.alloc(&mut ctx, 0, 7), Some(0x1000_1000 + 2048));
+        assert_eq!(f.alloc(&mut ctx, 0, 7), Some(a0));
+        assert_eq!(f.alloc(&mut ctx, 0, 7), None, "everything full");
+        let _ = (a1, b0);
+    }
+
+    #[test]
+    fn unpriced_free_mutates_identically_but_charges_nothing() {
+        let mut d = dpu();
+        let mut priced = frontend();
+        let mut unpriced = priced.clone();
+        let mut ctx = d.ctx(0);
+        priced.add_page(&mut ctx, 0, 4, 0x1000_0000);
+        unpriced.add_page(&mut ctx, 0, 4, 0x1000_0000);
+        let a = priced.alloc(&mut ctx, 0, 4).unwrap();
+        assert_eq!(unpriced.alloc(&mut ctx, 0, 4), Some(a));
+        let before = ctx.now();
+        assert_eq!(unpriced.free_unpriced(0, 4, a), FreeOutcome::Cached);
+        assert_eq!(ctx.now(), before, "unpriced free charges no cycles");
+        priced.free(&mut ctx, 0, 4, a);
+        assert!(ctx.now() > before, "priced free does charge");
+        assert_eq!(priced.alloc(&mut ctx, 0, 4), Some(a));
+        assert_eq!(unpriced.alloc(&mut ctx, 0, 4), Some(a));
+    }
+
+    #[test]
+    fn queues_are_private_per_tasklet_and_class() {
+        let mut d = dpu();
+        let mut f = frontend();
+        let mut ctx = d.ctx(0);
+        f.add_page(&mut ctx, 0, 0, 0x1000_0000);
+        f.add_page(&mut ctx, 1, 0, 0x1000_1000);
+        assert_eq!(f.alloc(&mut ctx, 0, 0), Some(0x1000_0000));
+        assert_eq!(f.alloc(&mut ctx, 1, 0), Some(0x1000_1000));
+        assert_eq!(f.alloc(&mut ctx, 0, 1), None, "class 1 has no pages");
+        assert_eq!(f.live_pages(), 2);
+    }
+
+    #[test]
+    fn wram_budget_matches_the_legacy_bitmap_budget() {
+        let table = SizeClassTable::paper_default();
+        let f = PageLocal::new(&table, 2, 0, 1 << 20);
+        let legacy: u32 = crate::thread_cache::ThreadCache::new(&table).bitmap_wram_bytes();
+        assert_eq!(f.wram_bytes(), legacy * 2);
+    }
+
+    #[test]
+    fn constant_cost_alloc_and_free() {
+        // The O(1) claim, priced: the 100th op costs exactly what the
+        // 1st does — no dependence on allocation history.
+        let mut d = dpu();
+        let mut f = frontend();
+        let mut ctx = d.ctx(0);
+        f.add_page(&mut ctx, 0, 1, 0x1000_0000); // 32 B: 128 slots
+        let t0 = ctx.now();
+        let first = f.alloc(&mut ctx, 0, 1).unwrap();
+        let first_cost = (ctx.now() - t0).0;
+        let mut last_cost = 0;
+        for _ in 0..100 {
+            let t = ctx.now();
+            f.alloc(&mut ctx, 0, 1).unwrap();
+            last_cost = (ctx.now() - t).0;
+        }
+        assert_eq!(first_cost, last_cost, "page-path alloc is O(1)");
+        let t = ctx.now();
+        f.free(&mut ctx, 0, 1, first);
+        let first_free_cost = (ctx.now() - t).0;
+        let second = f.alloc(&mut ctx, 0, 1).unwrap();
+        let t = ctx.now();
+        f.free(&mut ctx, 0, 1, second);
+        assert_eq!((ctx.now() - t).0, first_free_cost, "free is O(1)");
+    }
+}

@@ -29,8 +29,9 @@ use crate::buddy::{BuddyAllocator, BuddyGeometry, MetadataBackend};
 use crate::central_free_list::CentralFreeList;
 use crate::error::{AllocError, InitError};
 use crate::frag::FragTracker;
-use crate::geometry::{PimMallocConfig, SizeClassTable, TierPolicy};
+use crate::geometry::{FrontendKind, PimMallocConfig, SizeClassTable, TierPolicy};
 use crate::metadata::{MetaStats, MetadataStore};
+use crate::page_queue::PageLocal;
 use crate::region_map::{FreeRoute, RegionMap};
 use crate::stats::{AllocStats, ServiceSite};
 use crate::thread_cache::{FreeOutcome, ThreadCache, CACHE_BLOCK_BYTES};
@@ -89,10 +90,59 @@ pub enum BackendKind {
     },
 }
 
+/// The allocation frontend actually instantiated: the legacy bitmap
+/// thread caches or the page/queue fast path, selected by
+/// [`FrontendKind`]. Both expose the same five operations with
+/// identical *semantics* (addresses, outcomes, double-free panics) —
+/// only the simulated cycle pricing differs, which is why the dispatch
+/// lives behind one enum instead of a trait object: every call site
+/// stays monomorphic and the differential tests can pin the pair.
+#[derive(Debug)]
+enum Frontend {
+    Bitmap(Vec<ThreadCache>),
+    Pages(PageLocal),
+}
+
+impl Frontend {
+    fn alloc(&mut self, ctx: &mut TaskletCtx<'_>, tid: usize, class_idx: usize) -> Option<u32> {
+        match self {
+            Frontend::Bitmap(caches) => caches[tid].alloc(ctx, class_idx),
+            Frontend::Pages(pages) => pages.alloc(ctx, tid, class_idx),
+        }
+    }
+
+    fn add_block(&mut self, ctx: &mut TaskletCtx<'_>, tid: usize, class_idx: usize, base: u32) {
+        match self {
+            Frontend::Bitmap(caches) => caches[tid].add_block(ctx, class_idx, base),
+            Frontend::Pages(pages) => pages.add_page(ctx, tid, class_idx, base),
+        }
+    }
+
+    fn free(
+        &mut self,
+        ctx: &mut TaskletCtx<'_>,
+        tid: usize,
+        class_idx: usize,
+        addr: u32,
+    ) -> FreeOutcome {
+        match self {
+            Frontend::Bitmap(caches) => caches[tid].free(ctx, class_idx, addr),
+            Frontend::Pages(pages) => pages.free(ctx, tid, class_idx, addr),
+        }
+    }
+
+    fn free_unpriced(&mut self, tid: usize, class_idx: usize, addr: u32) -> FreeOutcome {
+        match self {
+            Frontend::Bitmap(caches) => caches[tid].free_unpriced(class_idx, addr),
+            Frontend::Pages(pages) => pages.free_unpriced(tid, class_idx, addr),
+        }
+    }
+}
+
 /// The hierarchical PIM-malloc allocator for one DPU.
 #[derive(Debug)]
 pub struct PimMalloc {
-    caches: Vec<ThreadCache>,
+    frontend: Frontend,
     backend: BuddyAllocator,
     backend_mutex: MutexId,
     /// O(1) frame-table routing for `pim_free` (see [`RegionMap`]).
@@ -149,11 +199,23 @@ impl PimMalloc {
         );
         let geometry =
             BuddyGeometry::new(config.heap_base, config.heap_size, config.backend_min_block);
-        let caches: Vec<ThreadCache> = (0..config.n_tasklets)
-            .map(|_| ThreadCache::new(&config.size_classes))
-            .collect();
+        let frontend = match config.frontend {
+            FrontendKind::BitmapClasses => Frontend::Bitmap(
+                (0..config.n_tasklets)
+                    .map(|_| ThreadCache::new(&config.size_classes))
+                    .collect(),
+            ),
+            FrontendKind::PageLocal => Frontend::Pages(PageLocal::new(
+                &config.size_classes,
+                config.n_tasklets,
+                config.heap_base,
+                config.heap_size,
+            )),
+        };
 
-        // WRAM budget: backend metadata buffer + per-tasklet bitmaps.
+        // WRAM budget: backend metadata buffer + per-tasklet free-slot
+        // metadata (bitmap words; the page path keeps the same layout,
+        // so both frontends reserve the same byte count).
         match config.backend {
             BackendKind::Coarse { buffer_bytes } => {
                 dpu.wram_mut()
@@ -175,9 +237,17 @@ impl PimMalloc {
                 dpu.wram_mut().reserve("line cache staging", line_bytes)?;
             }
         }
-        let bitmap_bytes: u32 = caches.iter().map(ThreadCache::bitmap_wram_bytes).sum();
-        dpu.wram_mut()
-            .reserve("thread cache bitmaps", bitmap_bytes)?;
+        match &frontend {
+            Frontend::Bitmap(caches) => {
+                let bitmap_bytes: u32 = caches.iter().map(ThreadCache::bitmap_wram_bytes).sum();
+                dpu.wram_mut()
+                    .reserve("thread cache bitmaps", bitmap_bytes)?;
+            }
+            Frontend::Pages(pages) => {
+                dpu.wram_mut()
+                    .reserve("page free lists", pages.wram_bytes())?;
+            }
+        }
 
         let store = match config.backend {
             BackendKind::Coarse { buffer_bytes } => {
@@ -204,7 +274,7 @@ impl PimMalloc {
             let mut ctx = dpu.ctx(0);
             backend.reset(&mut ctx);
             PimMalloc {
-                caches,
+                frontend,
                 backend,
                 backend_mutex,
                 region: RegionMap::new(config.heap_base, config.heap_size, CACHE_BLOCK_BYTES),
@@ -234,7 +304,7 @@ impl PimMalloc {
                         class_idx,
                         config.size_classes.class_bytes(class_idx),
                     );
-                    this.caches[tid].add_block(&mut ctx, class_idx, base);
+                    this.frontend.add_block(&mut ctx, tid, class_idx, base);
                 }
             }
         }
@@ -271,9 +341,23 @@ impl PimMalloc {
         &self.backend
     }
 
-    /// The thread caches, indexed by tasklet id.
+    /// The legacy bitmap thread caches, indexed by tasklet id. Empty
+    /// when the instance runs the [`FrontendKind::PageLocal`] frontend
+    /// — use [`PimMalloc::page_frontend`] there.
     pub fn caches(&self) -> &[ThreadCache] {
-        &self.caches
+        match &self.frontend {
+            Frontend::Bitmap(caches) => caches,
+            Frontend::Pages(_) => &[],
+        }
+    }
+
+    /// The page/queue frontend, if this instance runs
+    /// [`FrontendKind::PageLocal`].
+    pub fn page_frontend(&self) -> Option<&PageLocal> {
+        match &self.frontend {
+            Frontend::Bitmap(_) => None,
+            Frontend::Pages(pages) => Some(pages),
+        }
     }
 
     /// The shared size-class geometry.
@@ -397,21 +481,22 @@ impl PimAllocator for PimMalloc {
         let tid = ctx.tid();
         let (addr, site) = match self.classes.class_for(size) {
             Some(class_idx) => {
-                let (addr, site) = match self.caches[tid].alloc(ctx, class_idx) {
-                    // Case 1: thread cache hit. If the sub-block was
+                let (addr, site) = match self.frontend.alloc(ctx, tid, class_idx) {
+                    // Case 1: frontend hit. If the sub-block was
                     // staged by a remote free, the hit also consumes
                     // the middle-tier entry (priced per batch).
                     Some(addr) => (addr, self.consume_staged(ctx, class_idx, addr)),
-                    // Case 2: thread cache miss — refill from the backend.
+                    // Case 2: frontend miss — refill from the backend.
                     None => {
                         let base = self.backend_alloc(ctx, CACHE_BLOCK_BYTES)?;
                         self.frag.on_reserve(u64::from(CACHE_BLOCK_BYTES));
                         let class_bytes = self.classes.class_bytes(class_idx);
                         self.region
                             .note_cache_block(base, tid, class_idx, class_bytes);
-                        self.caches[tid].add_block(ctx, class_idx, base);
-                        let addr = self.caches[tid]
-                            .alloc(ctx, class_idx)
+                        self.frontend.add_block(ctx, tid, class_idx, base);
+                        let addr = self
+                            .frontend
+                            .alloc(ctx, tid, class_idx)
                             .expect("fresh block has free sub-blocks");
                         (addr, ServiceSite::FrontendRefill)
                     }
@@ -419,14 +504,14 @@ impl PimAllocator for PimMalloc {
                 self.region.note_cache_alloc(addr, size);
                 (addr, site)
             }
-            // Case 3: thread cache bypass.
+            // Case 3: frontend bypass straight to the backend.
             None => {
                 let addr = self.backend_alloc(ctx, size)?;
                 let reserved = self
                     .backend
                     .geometry()
                     .block_for_size(size)
-                    .expect("validated by backend");
+                    .ok_or(AllocError::InvalidSize { requested: size })?;
                 self.frag.on_reserve(u64::from(reserved));
                 self.region.note_backend_alloc(addr, reserved, size);
                 (addr, ServiceSite::Bypass)
@@ -479,7 +564,7 @@ impl PimAllocator for PimMalloc {
                         // cost is a few WRAM instructions plus one
                         // MRAM write per flushed batch.
                         TierPolicy::ThreeTier => {
-                            let outcome = self.caches[tid].free_unpriced(class_idx, addr);
+                            let outcome = self.frontend.free_unpriced(tid, class_idx, addr);
                             ctx.instrs(TRANSFER_PUSH_INSTRS);
                             if !matches!(outcome, FreeOutcome::BlockReleased { .. }) {
                                 let effect = self.transfer.push(class_idx, addr);
@@ -508,14 +593,14 @@ impl PimAllocator for PimMalloc {
                         // cross-tasklet path the middle tier replaces).
                         TierPolicy::TwoTier => {
                             ctx.mutex_lock(self.backend_mutex);
-                            let outcome = self.caches[tid].free(ctx, class_idx, addr);
+                            let outcome = self.frontend.free(ctx, tid, class_idx, addr);
                             ctx.mutex_unlock(self.backend_mutex);
                             self.stats.frees_remote_global += 1;
                             outcome
                         }
                     }
                 } else {
-                    self.caches[tid].free(ctx, class_idx, addr)
+                    self.frontend.free(ctx, tid, class_idx, addr)
                 };
                 match outcome {
                     FreeOutcome::Cached => self.stats.record_free(false),
@@ -885,6 +970,88 @@ mod tests {
         let again = pm.pim_malloc(&mut ctx, 256).unwrap();
         assert_eq!(again, addrs[0]);
         assert_eq!(pm.alloc_stats().central_hits, 1);
+    }
+
+    #[test]
+    fn page_frontend_reproduces_bitmap_addresses() {
+        // The real guarantee lives in tests/page_differential.rs; this
+        // is the smoke version: both frontends hand out the same
+        // addresses through hit, refill, free, and remote-free.
+        let mut d_bm = dpu(2);
+        let mut d_pg = dpu(2);
+        let mut bm = PimMalloc::init(&mut d_bm, small_sw(2).build()).unwrap();
+        let mut pg = PimMalloc::init(&mut d_pg, small_sw(2).page_local().build()).unwrap();
+        assert!(bm.page_frontend().is_none());
+        assert!(pg.page_frontend().is_some());
+        assert!(pg.caches().is_empty(), "page frontend has no thread caches");
+
+        let mut held = Vec::new();
+        for i in 0..24u32 {
+            let size = [16, 100, 700, 2048][i as usize % 4];
+            let a = {
+                let mut c = d_bm.ctx(0);
+                bm.pim_malloc(&mut c, size).unwrap()
+            };
+            let b = {
+                let mut c = d_pg.ctx(0);
+                pg.pim_malloc(&mut c, size).unwrap()
+            };
+            assert_eq!(a, b, "op {i}: same address from both frontends");
+            held.push(a);
+            if i % 3 == 2 {
+                // Free the oldest held pointer from the *other*
+                // tasklet: the remote path must reconcile identically.
+                let victim = held.remove(0);
+                let mut c = d_bm.ctx(1);
+                bm.pim_free(&mut c, victim).unwrap();
+                let mut c = d_pg.ctx(1);
+                pg.pim_free(&mut c, victim).unwrap();
+            }
+        }
+        for victim in held {
+            let mut c = d_bm.ctx(0);
+            bm.pim_free(&mut c, victim).unwrap();
+            let mut c = d_pg.ctx(0);
+            pg.pim_free(&mut c, victim).unwrap();
+        }
+        assert_eq!(bm.live_allocations(), 0);
+        assert_eq!(pg.live_allocations(), 0);
+        assert_eq!(
+            bm.frag().reserved_live(),
+            pg.frag().reserved_live(),
+            "block reserve/release parity"
+        );
+    }
+
+    #[test]
+    fn page_frontend_hot_path_is_cheaper_than_bitmap() {
+        // The entire point of the tentpole: a page-path hit costs
+        // fewer simulated cycles than a bitmap-scan hit once pools
+        // hold a few blocks.
+        let cost_of = |geo: AllocGeometry| {
+            let mut d = dpu(1);
+            let mut pm = PimMalloc::init(&mut d, geo.build()).unwrap();
+            let mut ctx = d.ctx(0);
+            // Deepen the pool so the legacy path has blocks to scan.
+            let held: Vec<u32> = (0..96)
+                .map(|_| pm.pim_malloc(&mut ctx, 64).unwrap())
+                .collect();
+            let t0 = ctx.now();
+            let a = pm.pim_malloc(&mut ctx, 64).unwrap();
+            let alloc_cost = (ctx.now() - t0).0;
+            let t0 = ctx.now();
+            pm.pim_free(&mut ctx, a).unwrap();
+            let free_cost = (ctx.now() - t0).0;
+            drop(held);
+            (alloc_cost, free_cost)
+        };
+        let (bm_alloc, bm_free) = cost_of(small_sw(1));
+        let (pg_alloc, pg_free) = cost_of(small_sw(1).page_local());
+        assert!(
+            pg_alloc <= bm_alloc && pg_free < bm_free,
+            "page path must not cost more: alloc {pg_alloc} vs {bm_alloc}, \
+             free {pg_free} vs {bm_free}"
+        );
     }
 
     #[test]

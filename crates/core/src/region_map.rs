@@ -81,6 +81,9 @@ pub enum FreeRoute {
 pub struct RegionMap {
     heap_base: u32,
     frame_bytes: u32,
+    /// `frame_bytes.trailing_zeros()`: frame arithmetic runs on every
+    /// malloc and free, so divisions become shifts.
+    frame_shift: u32,
     frames: Vec<FrameEntry>,
     live: usize,
 }
@@ -106,6 +109,7 @@ impl RegionMap {
         RegionMap {
             heap_base,
             frame_bytes,
+            frame_shift: frame_bytes.trailing_zeros(),
             frames: vec![FrameEntry::Free; (heap_size / frame_bytes) as usize],
             live: 0,
         }
@@ -122,15 +126,17 @@ impl RegionMap {
     }
 
     /// Frame index of `addr`, or `None` outside the heap.
+    #[inline]
     fn frame_index(&self, addr: u32) -> Option<usize> {
         let offset = addr.checked_sub(self.heap_base)?;
-        let idx = (offset / self.frame_bytes) as usize;
+        let idx = (offset >> self.frame_shift) as usize;
         (idx < self.frames.len()).then_some(idx)
     }
 
     /// Base address of frame `idx`.
+    #[inline]
     fn frame_base(&self, idx: usize) -> u32 {
-        self.heap_base + idx as u32 * self.frame_bytes
+        self.heap_base + ((idx as u32) << self.frame_shift)
     }
 
     /// Records that the thread cache of tasklet `tid` fetched the frame

@@ -89,6 +89,21 @@ impl AllocStats {
         (self.frontend_hits + self.transfer_hits + self.central_hits) as f64 / total as f64
     }
 
+    /// Fraction of *class-eligible* `pim_malloc` calls served without
+    /// a backend refill: hits (plain, transfer-staged, or
+    /// central-resident) over hits plus refills. Bypass requests are
+    /// excluded — they never had a page/cache to hit. This is the
+    /// `page_hit_rate` the bench report gates on: a healthy frontend
+    /// absorbs ≥ 90% of class-eligible traffic.
+    pub fn class_hit_rate(&self) -> f64 {
+        let hits = self.frontend_hits + self.transfer_hits + self.central_hits;
+        let eligible = hits + self.frontend_refills;
+        if eligible == 0 {
+            return 0.0;
+        }
+        hits as f64 / eligible as f64
+    }
+
     /// Fraction of aggregate `pim_malloc` latency attributable to
     /// requests that involved the backend (Figure 11(b)).
     pub fn backend_latency_fraction(&self) -> f64 {
@@ -189,6 +204,23 @@ mod tests {
         assert_eq!(s.central_hits, 1);
         assert!((s.frontend_service_fraction() - 0.75).abs() < 1e-12);
         assert_eq!(s.cycles_frontend, Cycles(60));
+    }
+
+    #[test]
+    fn class_hit_rate_excludes_bypass_and_counts_staged_hits() {
+        let mut s = AllocStats::default();
+        assert_eq!(s.class_hit_rate(), 0.0, "no traffic yet");
+        for _ in 0..7 {
+            s.record_malloc(ServiceSite::FrontendHit, Cycles(10));
+        }
+        s.record_malloc(ServiceSite::TransferHit, Cycles(20));
+        s.record_malloc(ServiceSite::CentralHit, Cycles(30));
+        s.record_malloc(ServiceSite::FrontendRefill, Cycles(500));
+        // Bypass traffic must not dilute the rate.
+        for _ in 0..10 {
+            s.record_malloc(ServiceSite::Bypass, Cycles(400));
+        }
+        assert!((s.class_hit_rate() - 0.9).abs() < 1e-12);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use pim_sim::{DpuSim, MutexId, TaskletCtx};
 
 use crate::api::PimAllocator;
 use crate::buddy::{BuddyAllocator, BuddyGeometry, DescentPolicy, MetadataBackend};
-use crate::error::AllocError;
+use crate::error::{AllocError, InitError};
 use crate::region_map::{FreeRoute, RegionMap};
 use crate::stats::{AllocStats, ServiceSite};
 
@@ -67,26 +67,25 @@ impl StrawManAllocator {
     /// Initializes the allocator on a DPU (metadata zeroing runs on
     /// tasklet 0).
     ///
+    /// # Errors
+    ///
+    /// [`InitError::Wram`] if the metadata (with `metadata_in_wram`)
+    /// or the software-managed buffer does not fit the scratchpad —
+    /// reachable from data (DSE sweeps explore tree depths whose
+    /// metadata exceeds 64 KB), so it is reported, not panicked.
+    ///
     /// # Panics
     ///
-    /// Panics on malformed geometry, or if `metadata_in_wram` is set
-    /// but the tree does not fit the scratchpad.
-    pub fn init(dpu: &mut DpuSim, config: StrawManConfig) -> Self {
+    /// Panics on malformed geometry (non-power-of-two sizes).
+    pub fn init(dpu: &mut DpuSim, config: StrawManConfig) -> Result<Self, InitError> {
         let geometry = BuddyGeometry::new(config.heap_base, config.heap_size, config.min_block);
         let store = if config.metadata_in_wram {
-            assert!(
-                geometry.metadata_bytes() <= dpu.wram().available_bytes(),
-                "metadata ({} B) exceeds WRAM",
-                geometry.metadata_bytes()
-            );
             dpu.wram_mut()
-                .reserve("straw-man metadata (WRAM)", geometry.metadata_bytes())
-                .expect("checked above");
+                .reserve("straw-man metadata (WRAM)", geometry.metadata_bytes())?;
             MetadataBackend::wram(&geometry)
         } else {
             dpu.wram_mut()
-                .reserve("straw-man metadata buffer", config.buffer_bytes)
-                .expect("buffer must fit WRAM");
+                .reserve("straw-man metadata buffer", config.buffer_bytes)?;
             MetadataBackend::coarse(&geometry, config.meta_base, config.buffer_bytes)
         };
         let mut buddy = BuddyAllocator::new(geometry, store).with_policy(config.descent);
@@ -95,12 +94,12 @@ impl StrawManAllocator {
             let mut ctx = dpu.ctx(0);
             buddy.reset(&mut ctx);
         }
-        StrawManAllocator {
+        Ok(StrawManAllocator {
             region: RegionMap::new(config.heap_base, config.heap_size, config.min_block),
             buddy,
             mutex,
             stats: AllocStats::default(),
-        }
+        })
     }
 
     /// The underlying buddy allocator.
@@ -125,7 +124,7 @@ impl PimAllocator for StrawManAllocator {
             .buddy
             .geometry()
             .block_for_size(size)
-            .expect("validated by buddy alloc");
+            .ok_or(AllocError::InvalidSize { requested: size })?;
         self.region.note_backend_alloc(addr, reserved, size);
         self.stats
             .record_malloc(ServiceSite::Bypass, ctx.now() - start);
@@ -168,7 +167,7 @@ mod tests {
     #[test]
     fn default_config_is_a_20_level_tree() {
         let mut d = dpu(1);
-        let a = StrawManAllocator::init(&mut d, StrawManConfig::default());
+        let a = StrawManAllocator::init(&mut d, StrawManConfig::default()).unwrap();
         assert_eq!(a.buddy().geometry().depth(), 20);
         assert_eq!(a.buddy().geometry().metadata_bytes(), 512 << 10);
     }
@@ -180,7 +179,7 @@ mod tests {
             heap_size: 1 << 20,
             ..StrawManConfig::default()
         };
-        let mut a = StrawManAllocator::init(&mut d, cfg);
+        let mut a = StrawManAllocator::init(&mut d, cfg).unwrap();
         let mut ctx = d.ctx(0);
         let x = a.pim_malloc(&mut ctx, 32).unwrap();
         let y = a.pim_malloc(&mut ctx, 32).unwrap();
@@ -200,7 +199,7 @@ mod tests {
             heap_size: 1 << 20,
             ..StrawManConfig::default()
         };
-        let mut a = StrawManAllocator::init(&mut d, cfg);
+        let mut a = StrawManAllocator::init(&mut d, cfg).unwrap();
         for _ in 0..8 {
             for tid in 0..16 {
                 let mut ctx = d.ctx(tid);
@@ -231,7 +230,7 @@ mod tests {
             metadata_in_wram: true,
             ..StrawManConfig::default()
         };
-        let mut a = StrawManAllocator::init(&mut d, cfg);
+        let mut a = StrawManAllocator::init(&mut d, cfg).unwrap();
         assert_eq!(a.buddy().geometry().depth(), 10);
         let mut ctx = d.ctx(0);
         let addr = a.pim_malloc(&mut ctx, 2048).unwrap();
@@ -252,14 +251,14 @@ mod tests {
             metadata_in_wram: true,
             ..StrawManConfig::default()
         };
-        let mut a1 = StrawManAllocator::init(&mut d1, small);
+        let mut a1 = StrawManAllocator::init(&mut d1, small).unwrap();
         let mut ctx = d1.ctx(0);
         let t0 = ctx.now();
         a1.pim_malloc(&mut ctx, 2048).unwrap();
         let fast = (ctx.now() - t0).0;
 
         let mut d2 = dpu(1);
-        let mut a2 = StrawManAllocator::init(&mut d2, StrawManConfig::default());
+        let mut a2 = StrawManAllocator::init(&mut d2, StrawManConfig::default()).unwrap();
         let mut ctx = d2.ctx(0);
         let t0 = ctx.now();
         a2.pim_malloc(&mut ctx, 32).unwrap();

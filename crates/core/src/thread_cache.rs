@@ -12,6 +12,7 @@ use pim_sim::TaskletCtx;
 use serde::{Deserialize, Serialize};
 
 use crate::geometry::SizeClassTable;
+use crate::page::init_free_mask;
 
 /// The paper's default size classes: powers of two from 16 B to 2 KB.
 pub const DEFAULT_SIZE_CLASSES: [u32; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
@@ -44,12 +45,12 @@ impl CacheBlock {
     fn new(base: u32, class_bytes: u32) -> Self {
         let slots = CACHE_BLOCK_BYTES / class_bytes;
         let words = (slots as usize).div_ceil(64);
-        let mut bitmap = vec![u64::MAX; words];
-        // Clear padding bits beyond `slots`.
-        let tail = slots as usize % 64;
-        if tail != 0 {
-            *bitmap.last_mut().expect("at least one word") = (1u64 << tail) - 1;
-        }
+        let mut bitmap = vec![0u64; words];
+        // Mark the first `slots` bits free and any padding busy. The
+        // shared helper is overflow-proof for slot counts that land
+        // exactly on a word boundary (see its doc comment — the old
+        // inline `(1u64 << tail) - 1` was one refactor away from UB).
+        init_free_mask(slots, &mut bitmap);
         CacheBlock {
             base,
             bitmap,
@@ -364,6 +365,36 @@ mod tests {
             last = (ctx.now() - t).0;
         }
         assert!(last <= first * 3, "hit cost drifted: {first} -> {last}");
+    }
+
+    #[test]
+    fn exact_64_multiple_slot_counts_initialize_fully_free() {
+        // Regression: classes whose slot count is an exact multiple of
+        // 64 (64 B class → 64 slots, 32 B → 128, 16 B → 256) must
+        // start with *every* slot free. The old tail-word expression
+        // `(1u64 << tail) - 1` overflows when the tail is derived as
+        // "slots remaining in the last word" (64 at a word boundary).
+        for (class_idx, class_bytes, slots) in [(2usize, 64u32, 64u32), (1, 32, 128), (0, 16, 256)]
+        {
+            let mut d = dpu();
+            let mut c = cache();
+            let mut ctx = d.ctx(0);
+            c.add_block(&mut ctx, class_idx, 0x1000);
+            assert_eq!(
+                c.pools()[class_idx].free_slots(),
+                slots,
+                "{class_bytes} B class must start fully free"
+            );
+            // And every one of them is allocatable, in address order.
+            for i in 0..slots {
+                assert_eq!(
+                    c.alloc(&mut ctx, class_idx),
+                    Some(0x1000 + i * class_bytes),
+                    "slot {i} of the {class_bytes} B class"
+                );
+            }
+            assert_eq!(c.alloc(&mut ctx, class_idx), None);
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Differential property coverage of the allocation frontends: the
+//! page/queue fast path (`.page_local()`) must be a pure *pricing*
+//! overlay over the legacy bitmap-scan thread caches. Under any
+//! interleaving of allocations, local frees, and cross-tasklet remote
+//! frees, both frontends must return identical addresses, identical
+//! errors, identical service-site counters, and identical
+//! fragmentation accounting — only the simulated cycle costs may
+//! differ, since constant-cost hot paths are the whole point of the
+//! page layer.
+
+use pim_malloc::{AllocGeometry, FrontendKind, PimAllocator, PimMalloc, TierPolicy};
+use pim_sim::{DpuConfig, DpuSim};
+use proptest::prelude::*;
+
+const HEAP_SIZE: u32 = 1 << 20;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `tid` allocates `size` bytes.
+    Alloc { tid: usize, size: u32 },
+    /// `tid` frees one of its own live allocations.
+    LocalFree { tid: usize, victim: usize },
+    /// `tid` frees one of `owner`'s live allocations (a remote free
+    /// whenever `owner != tid`, exercising the unpriced reconcile).
+    RemoteFree {
+        tid: usize,
+        owner: usize,
+        victim: usize,
+    },
+}
+
+fn op_strategy(n_tasklets: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..n_tasklets, 1u32..8192).prop_map(|(tid, size)| Op::Alloc { tid, size }),
+        2 => (0..n_tasklets, any::<usize>())
+            .prop_map(|(tid, victim)| Op::LocalFree { tid, victim }),
+        2 => (0..n_tasklets, 0..n_tasklets, any::<usize>())
+            .prop_map(|(tid, owner, victim)| Op::RemoteFree { tid, owner, victim }),
+    ]
+}
+
+/// Everything a trial observes that must be frontend-invariant.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    /// Per-op outcome: allocated address, freed address, or the error.
+    outcomes: Vec<Result<u32, String>>,
+    live_allocations: usize,
+    requested_live: u64,
+    reserved_live: u64,
+    backend_free_bytes: u64,
+    /// ServiceSite counters: the page path must *route* requests
+    /// identically, not just address them identically.
+    frontend_hits: u64,
+    frontend_refills: u64,
+    bypass: u64,
+    transfer_hits: u64,
+    central_hits: u64,
+    frees_frontend: u64,
+    frees_backend: u64,
+    frees_remote_transfer: u64,
+    frees_remote_global: u64,
+}
+
+fn run(frontend: FrontendKind, tier: TierPolicy, n_tasklets: usize, ops: &[Op]) -> Observed {
+    let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(n_tasklets));
+    let mut geom = AllocGeometry::sw(n_tasklets)
+        .with_heap_size(HEAP_SIZE)
+        .with_frontend(frontend);
+    if tier == TierPolicy::TwoTier {
+        geom = geom.two_tier();
+    }
+    let mut pm = PimMalloc::init(&mut dpu, geom.build()).expect("init");
+
+    // addr lists per owning tasklet, appended in allocation order, so
+    // victim indices resolve identically across both runs as long as
+    // the returned addresses match (which is the property under test).
+    let mut live: Vec<Vec<u32>> = vec![Vec::new(); n_tasklets];
+    let mut outcomes = Vec::with_capacity(ops.len());
+    for op in ops {
+        match *op {
+            Op::Alloc { tid, size } => {
+                let mut ctx = dpu.ctx(tid);
+                match pm.pim_malloc(&mut ctx, size) {
+                    Ok(addr) => {
+                        live[tid].push(addr);
+                        outcomes.push(Ok(addr));
+                    }
+                    Err(e) => outcomes.push(Err(e.to_string())),
+                }
+            }
+            Op::LocalFree { tid, victim } => {
+                if live[tid].is_empty() {
+                    continue;
+                }
+                let idx = victim % live[tid].len();
+                let addr = live[tid].swap_remove(idx);
+                let mut ctx = dpu.ctx(tid);
+                match pm.pim_free(&mut ctx, addr) {
+                    Ok(()) => outcomes.push(Ok(addr)),
+                    Err(e) => outcomes.push(Err(e.to_string())),
+                }
+            }
+            Op::RemoteFree { tid, owner, victim } => {
+                if live[owner].is_empty() {
+                    continue;
+                }
+                let idx = victim % live[owner].len();
+                let addr = live[owner].swap_remove(idx);
+                let mut ctx = dpu.ctx(tid);
+                match pm.pim_free(&mut ctx, addr) {
+                    Ok(()) => outcomes.push(Ok(addr)),
+                    Err(e) => outcomes.push(Err(e.to_string())),
+                }
+            }
+        }
+    }
+    let s = pm.alloc_stats();
+    let observed = Observed {
+        live_allocations: pm.live_allocations(),
+        requested_live: pm.frag().requested_live(),
+        reserved_live: pm.frag().reserved_live(),
+        backend_free_bytes: pm.backend().free_bytes(),
+        frontend_hits: s.frontend_hits,
+        frontend_refills: s.frontend_refills,
+        bypass: s.bypass,
+        transfer_hits: s.transfer_hits,
+        central_hits: s.central_hits,
+        frees_frontend: s.frees_frontend,
+        frees_backend: s.frees_backend,
+        frees_remote_transfer: s.frees_remote_transfer,
+        frees_remote_global: s.frees_remote_global,
+        outcomes,
+    };
+    pm.backend().check_invariants();
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Addresses, errors, routing counters, and fragmentation
+    /// accounting are identical across the two frontends on the
+    /// default three-tier free path.
+    #[test]
+    fn frontends_agree_on_everything_but_cycles(
+        ops in proptest::collection::vec(op_strategy(4), 1..200)
+    ) {
+        let pages = run(FrontendKind::PageLocal, TierPolicy::ThreeTier, 4, &ops);
+        let bitmap = run(FrontendKind::BitmapClasses, TierPolicy::ThreeTier, 4, &ops);
+        prop_assert_eq!(&pages, &bitmap);
+    }
+
+    /// Same property under the two-tier free path, where remote frees
+    /// walk the owner's frontend under the global lock (the *priced*
+    /// free variant) instead of the unpriced transfer-cache reconcile.
+    #[test]
+    fn frontends_agree_under_two_tier_remote_frees(
+        ops in proptest::collection::vec(op_strategy(4), 1..200)
+    ) {
+        let pages = run(FrontendKind::PageLocal, TierPolicy::TwoTier, 4, &ops);
+        let bitmap = run(FrontendKind::BitmapClasses, TierPolicy::TwoTier, 4, &ops);
+        prop_assert_eq!(&pages, &bitmap);
+    }
+
+    /// Same property at sixteen tasklets, where queues shard across
+    /// many more (tasklet, class) pairs and full/empty page migration
+    /// interleaves with remote traffic.
+    #[test]
+    fn frontends_agree_at_sixteen_tasklets(
+        ops in proptest::collection::vec(op_strategy(16), 1..150)
+    ) {
+        let pages = run(FrontendKind::PageLocal, TierPolicy::ThreeTier, 16, &ops);
+        let bitmap = run(FrontendKind::BitmapClasses, TierPolicy::ThreeTier, 16, &ops);
+        prop_assert_eq!(&pages, &bitmap);
+    }
+}
+
+/// A deterministic drain: heavy cross-tasklet churn, then free
+/// everything — both frontends must end with an empty heap, matching
+/// addresses, and matching backend capacity.
+#[test]
+fn full_drain_matches_across_frontends() {
+    let run_drain = |frontend: FrontendKind| -> (Vec<u32>, u64) {
+        let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(4));
+        let geom = AllocGeometry::sw(4)
+            .with_heap_size(HEAP_SIZE)
+            .with_frontend(frontend);
+        let mut pm = PimMalloc::init(&mut dpu, geom.build()).expect("init");
+        let mut history = Vec::new();
+        let mut addrs = Vec::new();
+        for round in 0..4usize {
+            for tid in 0..4 {
+                let mut ctx = dpu.ctx(tid);
+                for i in 0..32 {
+                    let size = [16u32, 100, 700, 2048][(i + round) % 4];
+                    let addr = pm.pim_malloc(&mut ctx, size).unwrap();
+                    history.push(addr);
+                    addrs.push(addr);
+                }
+            }
+            // Each tasklet frees the previous tasklet's allocations.
+            let drained = std::mem::take(&mut addrs);
+            for (i, addr) in drained.iter().enumerate() {
+                let mut ctx = dpu.ctx((i / 32 + 1) % 4);
+                pm.pim_free(&mut ctx, *addr).unwrap();
+            }
+        }
+        assert_eq!(pm.live_allocations(), 0);
+        assert_eq!(pm.frag().requested_live(), 0);
+        pm.backend().check_invariants();
+        (history, pm.backend().free_bytes())
+    };
+    let (pages, free_pages) = run_drain(FrontendKind::PageLocal);
+    let (bitmap, free_bitmap) = run_drain(FrontendKind::BitmapClasses);
+    assert_eq!(pages, bitmap);
+    assert_eq!(free_pages, free_bitmap);
+}

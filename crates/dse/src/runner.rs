@@ -95,7 +95,7 @@ impl DseResult {
 /// `(seconds per allocation, seconds for the whole batch)`.
 fn pim_side_alloc_secs(config: &DseConfig) -> (f64, f64) {
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
-    let mut alloc = StrawManAllocator::init(&mut dpu, config.straw_man);
+    let mut alloc = StrawManAllocator::init(&mut dpu, config.straw_man).expect("straw-man init");
     let start = dpu.clock(0);
     for _ in 0..config.allocs_per_dpu {
         let mut ctx = dpu.ctx(0);

@@ -157,6 +157,7 @@ impl CostModel {
     /// With fewer tasklets than pipeline stages the pipeline cannot be
     /// filled by a single tasklet, so the interval is the pipeline depth;
     /// beyond that, issue slots are shared round-robin.
+    #[inline]
     pub fn issue_interval(&self, active_tasklets: usize) -> u64 {
         self.pipeline_depth.max(active_tasklets as u64)
     }

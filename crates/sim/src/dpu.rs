@@ -82,6 +82,18 @@ pub struct DpuSim {
     dma_backlog: u64,
     /// Virtual time of the most recent DMA request.
     dma_last_req: Cycles,
+    /// Instructions charged through a [`TaskletCtx`] but not yet
+    /// folded into the owing tasklet's clock and stats. Instruction
+    /// accounting is linear in the count (fixed issue interval per
+    /// DPU), so adjacent `instrs` calls accumulate here and settle in
+    /// one step at the next observation point — any DMA, mutex, wait,
+    /// trace record, or the creation of the next context. The clock
+    /// and stats accessors compensate for a still-pending batch, which
+    /// makes the batching unobservable: every readable value equals
+    /// what eager per-call accounting would produce.
+    pending_instrs: u64,
+    /// Tasklet owing `pending_instrs` (meaningful only when nonzero).
+    pending_tid: usize,
     traffic: DramTraffic,
     trace: Option<TraceRecorder>,
     mram: Mram,
@@ -101,6 +113,8 @@ impl DpuSim {
             mutexes: Vec::new(),
             dma_backlog: 0,
             dma_last_req: Cycles::ZERO,
+            pending_instrs: 0,
+            pending_tid: 0,
             traffic: DramTraffic::default(),
             trace: None,
         }
@@ -135,40 +149,89 @@ impl DpuSim {
     /// Panics if `tid` is not below the configured tasklet count.
     pub fn ctx(&mut self, tid: usize) -> TaskletCtx<'_> {
         assert!(tid < self.config.n_tasklets, "tasklet {tid} out of range");
+        self.settle_instrs();
         TaskletCtx { dpu: self, tid }
+    }
+
+    /// Folds the pending instruction batch into the owing tasklet's
+    /// clock and stats (see `pending_instrs`). Additive, so a settled
+    /// batch is byte-identical to the same instructions charged one by
+    /// one.
+    fn settle_instrs(&mut self) {
+        let n = self.pending_instrs;
+        if n == 0 {
+            return;
+        }
+        self.pending_instrs = 0;
+        let cost = &self.config.cost;
+        let interval = cost.issue_interval(self.config.n_tasklets);
+        let run = n * cost.pipeline_depth;
+        let s = &mut self.stats[self.pending_tid];
+        s.run += Cycles(run);
+        s.idle_etc += Cycles(n * interval - run);
+        s.instrs += n;
+        self.clocks[self.pending_tid] += Cycles(n * interval);
+    }
+
+    /// Clock adjustment tasklet `tid` is owed by the pending batch.
+    fn pending_cycles(&self, tid: usize) -> Cycles {
+        if self.pending_instrs == 0 || self.pending_tid != tid {
+            return Cycles::ZERO;
+        }
+        let cost = &self.config.cost;
+        Cycles(self.pending_instrs * cost.issue_interval(self.config.n_tasklets))
     }
 
     /// The tasklet with the smallest logical clock — the one whose next
     /// request should execute to keep virtual time causally ordered.
     pub fn next_tasklet(&self) -> usize {
-        self.clocks
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| **c)
-            .map(|(i, _)| i)
+        (0..self.clocks.len())
+            .min_by_key(|&i| self.clock(i))
             .expect("DPU has at least one tasklet")
     }
 
     /// Current logical time of tasklet `tid`.
     pub fn clock(&self, tid: usize) -> Cycles {
-        self.clocks[tid]
+        self.clocks[tid] + self.pending_cycles(tid)
     }
 
     /// The largest tasklet clock — the DPU-wide finish time.
     pub fn max_clock(&self) -> Cycles {
-        self.clocks.iter().copied().max().unwrap_or(Cycles::ZERO)
+        (0..self.clocks.len())
+            .map(|i| self.clock(i))
+            .max()
+            .unwrap_or(Cycles::ZERO)
     }
 
     /// Statistics of tasklet `tid`.
-    pub fn tasklet_stats(&self, tid: usize) -> &TaskletStats {
-        &self.stats[tid]
+    pub fn tasklet_stats(&self, tid: usize) -> TaskletStats {
+        let mut s = self.stats[tid];
+        self.compensate(tid, &mut s);
+        s
     }
 
     /// Sum of all tasklets' statistics.
     pub fn total_stats(&self) -> TaskletStats {
-        self.stats
+        let mut total = self
+            .stats
             .iter()
-            .fold(TaskletStats::default(), |acc, s| acc.merged(s))
+            .fold(TaskletStats::default(), |acc, s| acc.merged(s));
+        self.compensate(self.pending_tid, &mut total);
+        total
+    }
+
+    /// Adds the pending batch's share to a stats copy for tasklet
+    /// `tid` (no-op unless `tid` owes the batch).
+    fn compensate(&self, tid: usize, s: &mut TaskletStats) {
+        let n = self.pending_instrs;
+        if n == 0 || self.pending_tid != tid {
+            return;
+        }
+        let cost = &self.config.cost;
+        let run = n * cost.pipeline_depth;
+        s.run += Cycles(run);
+        s.idle_etc += Cycles(n * cost.issue_interval(self.config.n_tasklets) - run);
+        s.instrs += n;
     }
 
     /// Aggregate MRAM↔WRAM traffic since construction.
@@ -219,13 +282,17 @@ pub struct TaskletCtx<'a> {
 
 impl TaskletCtx<'_> {
     /// This context's tasklet id.
+    #[inline]
     pub fn tid(&self) -> usize {
         self.tid
     }
 
     /// The tasklet's current logical time.
+    #[inline]
     pub fn now(&self) -> Cycles {
-        self.dpu.clocks[self.tid]
+        // Compensated for batched-but-unsettled instructions, so lazy
+        // accumulation is unobservable (see `DpuSim::pending_instrs`).
+        self.dpu.clocks[self.tid] + self.dpu.pending_cycles(self.tid)
     }
 
     /// The DPU cost model.
@@ -238,7 +305,17 @@ impl TaskletCtx<'_> {
     /// `n × pipeline_depth` cycles are accounted as *run*; any extra
     /// spacing from issue-slot sharing (when more tasklets than pipeline
     /// stages are active) is accounted as *idle (etc)*.
+    #[inline]
     pub fn instrs(&mut self, n: u64) {
+        if self.dpu.trace.is_none() {
+            // Lazy batch: accounting is linear in `n`, so adjacent
+            // charges accumulate and settle together (byte-identical;
+            // see `DpuSim::pending_instrs`). Tracing needs one event
+            // per charge, so it takes the eager path below.
+            self.dpu.pending_tid = self.tid;
+            self.dpu.pending_instrs += n;
+            return;
+        }
         let cost = &self.dpu.config.cost;
         let interval = cost.issue_interval(self.dpu.config.n_tasklets);
         let run = n * cost.pipeline_depth;
@@ -263,6 +340,7 @@ impl TaskletCtx<'_> {
     /// classified as busy-wait. Used by higher-level primitives; mutex
     /// waits already account this automatically.
     pub fn spin_instrs(&mut self, n: u64) {
+        self.dpu.settle_instrs();
         let cost = &self.dpu.config.cost;
         let interval = cost.issue_interval(self.dpu.config.n_tasklets);
         let s = &mut self.dpu.stats[self.tid];
@@ -274,6 +352,7 @@ impl TaskletCtx<'_> {
     /// Blocks the tasklet until absolute time `t` (no-op if in the
     /// past), accounting the gap as *idle (etc)*.
     pub fn wait_until(&mut self, t: Cycles) {
+        self.dpu.settle_instrs();
         let now = self.now();
         if t > now {
             self.dpu.stats[self.tid].idle_etc += t - now;
@@ -281,7 +360,9 @@ impl TaskletCtx<'_> {
         }
     }
 
+    #[inline]
     fn dma(&mut self, bytes: u32, is_read: bool) {
+        self.dpu.settle_instrs();
         let now = self.now();
         // Backlog queue model of the shared DMA engine: each transfer
         // occupies the engine for its beat time; elapsed time since the
@@ -321,11 +402,13 @@ impl TaskletCtx<'_> {
     }
 
     /// Charges a DMA read of `bytes` from MRAM to WRAM (latency only).
+    #[inline]
     pub fn mram_read(&mut self, _addr: u32, bytes: u32) {
         self.dma(bytes, true);
     }
 
     /// Charges a DMA write of `bytes` from WRAM to MRAM (latency only).
+    #[inline]
     pub fn mram_write(&mut self, _addr: u32, bytes: u32) {
         self.dma(bytes, false);
     }
@@ -351,6 +434,7 @@ impl TaskletCtx<'_> {
     ///
     /// Panics if this tasklet already holds the mutex (self-deadlock).
     pub fn mutex_lock(&mut self, m: MutexId) {
+        self.dpu.settle_instrs();
         let now = self.now();
         let state = &mut self.dpu.mutexes[m.0];
         assert_ne!(
@@ -380,6 +464,7 @@ impl TaskletCtx<'_> {
     ///
     /// Panics if the mutex is not held by this tasklet.
     pub fn mutex_unlock(&mut self, m: MutexId) {
+        self.dpu.settle_instrs();
         let now = self.now();
         let state = &mut self.dpu.mutexes[m.0];
         assert_eq!(
@@ -481,7 +566,7 @@ mod tests {
         d.ctx(0).mram_read(0, 2048); // occupies the DMA engine
         let busy_until = d.clock(0);
         d.ctx(1).mram_read(0, 8); // must queue behind tasklet 0
-        let s1 = *d.tasklet_stats(1);
+        let s1 = d.tasklet_stats(1);
         assert!(s1.idle_mem >= busy_until - Cycles::ZERO);
         assert!(d.clock(1) > busy_until);
     }

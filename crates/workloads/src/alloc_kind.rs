@@ -61,7 +61,7 @@ impl AllocatorKind {
                     heap_size,
                     ..StrawManConfig::default()
                 };
-                Box::new(StrawManAllocator::init(dpu, cfg))
+                Box::new(StrawManAllocator::init(dpu, cfg).expect("straw-man init"))
             }
             AllocatorKind::Sw => {
                 let cfg = AllocGeometry::sw(n_tasklets)

@@ -198,7 +198,7 @@ pub fn run_straw_man_grid_point(heap_size: u32, alloc_size: u32, pairs: usize) -
         metadata_in_wram: heap_size <= 64 << 10,
         ..StrawManConfig::default()
     };
-    let mut alloc = StrawManAllocator::init(&mut dpu, cfg);
+    let mut alloc = StrawManAllocator::init(&mut dpu, cfg).expect("straw-man init");
     let mut stream = Vec::with_capacity(pairs * 2);
     for _ in 0..pairs {
         stream.push(Request::Malloc {

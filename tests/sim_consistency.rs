@@ -16,7 +16,7 @@ fn dse_pim_local_time_matches_a_real_dpu_run() {
     let r = run_strategy(Strategy::PimMetaPimExec, &cfg);
 
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(1));
-    let mut alloc = StrawManAllocator::init(&mut dpu, cfg.straw_man);
+    let mut alloc = StrawManAllocator::init(&mut dpu, cfg.straw_man).expect("straw-man init");
     let t0 = dpu.clock(0);
     for _ in 0..cfg.allocs_per_dpu {
         let mut ctx = dpu.ctx(0);
@@ -53,7 +53,8 @@ fn dse_crossover_matches_figure6() {
 fn virtual_time_is_deterministic() {
     let run = || {
         let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
-        let mut alloc = StrawManAllocator::init(&mut dpu, StrawManConfig::default());
+        let mut alloc =
+            StrawManAllocator::init(&mut dpu, StrawManConfig::default()).expect("straw-man init");
         for i in 0..128 {
             let mut ctx = dpu.ctx(i % 16);
             alloc
@@ -72,7 +73,7 @@ fn wram_budget_is_shared_across_components() {
     // the already-reserved space.
     let mut dpu = DpuSim::new(DpuConfig::default().with_tasklets(16));
     let before = dpu.wram().available_bytes();
-    let _a = StrawManAllocator::init(&mut dpu, StrawManConfig::default());
+    let _a = StrawManAllocator::init(&mut dpu, StrawManConfig::default()).expect("straw-man init");
     let after = dpu.wram().available_bytes();
     assert_eq!(before - after, 2048, "straw-man reserves its 2 KB window");
     // An allocator demanding more WRAM than remains must fail cleanly.
@@ -198,6 +199,54 @@ fn trace_fleet_at_512_dpus_is_engine_invariant() {
     let build = |dpu: &mut DpuSim| -> Box<dyn PimAllocator> {
         let cfg = pim_malloc::AllocGeometry::sw(4)
             .with_heap_size(1 << 20)
+            .build();
+        Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
+    };
+    let fleet = |exec: ExecPolicy| {
+        replay_fleet(
+            &trace,
+            &FleetConfig {
+                n_dpus: 512,
+                ctx: pim_sim::SimContext::default().with_exec(exec),
+            },
+            build,
+        )
+    };
+    let reference = fleet(ExecPolicy::Serial);
+    for policy in PARALLEL_POLICIES {
+        let got = fleet(policy);
+        assert_eq!(got.per_dpu.len(), 512);
+        for (g, r) in got.per_dpu.iter().zip(&reference.per_dpu) {
+            assert_eq!(g.timeline, r.timeline, "{policy:?}");
+            assert_eq!(g.oom_count, r.oom_count, "{policy:?}");
+        }
+        assert_eq!(got.kernel_finish, reference.kernel_finish, "{policy:?}");
+        assert_eq!(got.mean_latency(), reference.mean_latency(), "{policy:?}");
+        assert_eq!(got.distribution, reference.distribution, "{policy:?}");
+    }
+}
+
+#[test]
+fn page_frontend_fleet_at_512_dpus_is_engine_invariant() {
+    // The same fleet replay with the PageLocal frontend: the page
+    // path's intrusive-list surgery and frame-table routing must be as
+    // engine-invariant as the legacy bitmap frontend — and land on the
+    // *same addresses*, so the two fleets' timelines differ only in
+    // cycle pricing.
+    use pim_trace::{replay_fleet, synthesize, FleetConfig, SizeLaw, SynthConfig, TemporalShape};
+    let trace = synthesize(&SynthConfig {
+        n_tasklets: 4,
+        mallocs_per_tasklet: 24,
+        size_law: SizeLaw::Uniform { min: 16, max: 1024 },
+        shape: TemporalShape::Steady { compute: 300 },
+        heap_size: 1 << 20,
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let build = |dpu: &mut DpuSim| -> Box<dyn PimAllocator> {
+        let cfg = pim_malloc::AllocGeometry::sw(4)
+            .with_heap_size(1 << 20)
+            .page_local()
             .build();
         Box::new(pim_malloc::PimMalloc::init(dpu, cfg).expect("init"))
     };
